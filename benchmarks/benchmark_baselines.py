@@ -1,0 +1,58 @@
+"""Benchmark: baseline comparison (Section 3's systems on one workload).
+
+The paper argues that Chord, CAN, and Tapestry are all instances of greedy
+routing in a metric space and should behave comparably; this benchmark runs
+the same random lookup workload over each system and over this paper's
+overlay, healthy and with 30% failed nodes.
+
+Expected shape: the logarithmic systems (this paper's overlay, Chord,
+Kleinberg with enough links, Plaxton) deliver in O(log n)-ish hops, while CAN
+with d=2 needs O(sqrt n) hops; under failures without repair, the systems with
+more routing choice (this overlay with backtracking, Chord with successor
+lists) lose far fewer searches than the rigid ones (CAN, Plaxton).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+
+
+def test_baseline_comparison(benchmark, paper_scale):
+    """Hop counts and failure behaviour across all implemented systems."""
+    bits = 14 if paper_scale else 10
+    searches = 1000 if paper_scale else 200
+
+    table = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs={"bits": bits, "searches": searches, "failure_level": 0.3, "seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.to_text())
+
+    systems = table.column("system")
+    hops = dict(zip(systems, table.column("mean_hops")))
+    healthy_failures = dict(zip(systems, table.column("failed_fraction")))
+    degraded_failures = dict(
+        zip(systems, table.column("failed_fraction_after_failures"))
+    )
+    this_paper = next(s for s in systems if "this-paper" in s)
+    can = next(s for s in systems if s.startswith("can"))
+    chord = next(s for s in systems if s == "chord")
+
+    benchmark.extra_info["hops_this_paper"] = hops[this_paper]
+    benchmark.extra_info["hops_chord"] = hops[chord]
+    benchmark.extra_info["hops_can"] = hops[can]
+
+    # All systems deliver everything on the intact network.
+    assert all(f == 0.0 for f in healthy_failures.values())
+    # CAN's polynomial routing needs clearly more hops than the log systems.
+    assert hops[can] > 1.5 * hops[this_paper]
+    assert hops[can] > 1.5 * hops[chord]
+    # This paper's overlay with backtracking tolerates the failures at least
+    # as well as every baseline (no baseline runs a repair protocol here).
+    assert all(
+        degraded_failures[this_paper] <= degraded_failures[other] + 0.02
+        for other in systems
+    )

@@ -1,0 +1,64 @@
+"""Benchmarks for raw construction and routing throughput.
+
+Not a figure from the paper, but the numbers a downstream adopter asks first:
+how long does it take to build an overlay of n nodes with the Section-5
+heuristic versus the one-shot ideal builder, and how many lookups per second
+does greedy routing sustain?
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import build_ideal_network
+from repro.core.construction import build_heuristic_network
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.simulation.workload import LookupWorkload
+
+
+def test_build_ideal_network_speed(benchmark, paper_scale):
+    """One-shot ideal construction of an n-node overlay."""
+    n = (1 << 14) if paper_scale else (1 << 12)
+    result = benchmark(build_ideal_network, n, None, 0)
+    assert len(result.graph) == n
+
+
+def test_build_heuristic_network_speed(benchmark, paper_scale):
+    """Incremental Section-5 construction of an n-node overlay."""
+    n = (1 << 12) if paper_scale else (1 << 10)
+    result = benchmark.pedantic(
+        build_heuristic_network,
+        kwargs={"n": n, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.graph) == n
+
+
+def test_greedy_routing_throughput(benchmark, paper_scale):
+    """Greedy lookups per benchmark round on a healthy overlay."""
+    n = (1 << 14) if paper_scale else (1 << 12)
+    graph = build_ideal_network(n, seed=1).graph
+    router = GreedyRouter(graph)
+    pairs = LookupWorkload(seed=2).pairs(graph.labels(only_alive=True), 500)
+
+    def run_lookups():
+        return sum(1 for s, t in pairs if router.route(s, t).success)
+
+    successes = benchmark(run_lookups)
+    assert successes == len(pairs)
+
+
+def test_backtracking_routing_throughput_under_failures(benchmark, paper_scale):
+    """Backtracking lookups per round with 50% of the nodes failed."""
+    from repro.core.failures import NodeFailureModel
+
+    n = (1 << 14) if paper_scale else (1 << 12)
+    graph = build_ideal_network(n, seed=3).graph
+    NodeFailureModel(0.5, seed=4).apply(graph)
+    router = GreedyRouter(graph, recovery=RecoveryStrategy.BACKTRACK)
+    pairs = LookupWorkload(seed=5).pairs(graph.labels(only_alive=True), 300)
+
+    def run_lookups():
+        return sum(1 for s, t in pairs if router.route(s, t).success)
+
+    successes = benchmark(run_lookups)
+    assert successes > 0

@@ -1,0 +1,29 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at a reduced but
+representative scale (the full paper scale of 2^17 nodes and 100 000 searches
+is reachable by passing larger parameters to the underlying experiment
+functions).  Each benchmark prints the regenerated rows/series — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them — and stores the key
+numbers in ``benchmark.extra_info`` so they appear in the saved benchmark
+JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="Run the benchmarks at (close to) the paper's original scale. Slow.",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    """Whether the benchmarks should run at paper scale."""
+    return bool(request.config.getoption("--paper-scale"))

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists only so that ``python setup.py develop`` works in fully offline
+environments where the ``wheel`` package (needed for PEP 660 editable
+installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — Fault-tolerant greedy routing in peer-to-peer systems.
+
+A production-quality reproduction of *Fault-tolerant Routing in Peer-to-peer
+Systems* (Aspnes, Diamadi, Shah; PODC 2002).  The library provides:
+
+* ``repro.core`` — metric-space embedding, inverse power-law overlay graphs,
+  greedy routing with failure recovery, failure models, the dynamic
+  construction heuristic, and theoretical bounds.
+* ``repro.simulation`` — a discrete-event simulation substrate with message
+  passing, latency models, workload generators, and churn.
+* ``repro.dht`` — a distributed hash table (put/get, replication) built on the
+  routing layer.
+* ``repro.baselines`` — Chord, Kleinberg-grid, CAN, and Plaxton-style prefix
+  routing baselines for comparison.
+* ``repro.experiments`` — the harness regenerating every table and figure of
+  the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import P2PNetwork
+>>> network = P2PNetwork(space_size=1 << 10, seed=7)
+>>> network.join_many(list(range(0, 1 << 10, 8)))
+>>> network.publish("readme", value="hello world", owner=0)  # doctest: +SKIP
+>>> network.lookup("readme").found                            # doctest: +SKIP
+True
+"""
+
+from repro.core import (
+    ByzantineAwareRouter,
+    ByzantineBehavior,
+    ByzantineModel,
+    DeterministicGraphBuilder,
+    GreedyRouter,
+    HeuristicConstruction,
+    InverseDistanceReplacement,
+    InversePowerLawDistribution,
+    LineMetric,
+    LinkFailureModel,
+    LookupOutcome,
+    MaintenanceDaemon,
+    NodeFailureModel,
+    OldestLinkReplacement,
+    OverlayGraph,
+    P2PNetwork,
+    RandomGraphBuilder,
+    RecoveryStrategy,
+    RedundantRouter,
+    RingMetric,
+    RouteResult,
+    RoutingMode,
+    Table1Bounds,
+    TorusMetric,
+    build_heuristic_network,
+    build_ideal_network,
+    failure_sweep_levels,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "P2PNetwork",
+    "OverlayGraph",
+    "GreedyRouter",
+    "RoutingMode",
+    "RecoveryStrategy",
+    "RouteResult",
+    "LookupOutcome",
+    "RingMetric",
+    "LineMetric",
+    "TorusMetric",
+    "InversePowerLawDistribution",
+    "RandomGraphBuilder",
+    "DeterministicGraphBuilder",
+    "build_ideal_network",
+    "build_heuristic_network",
+    "HeuristicConstruction",
+    "InverseDistanceReplacement",
+    "OldestLinkReplacement",
+    "MaintenanceDaemon",
+    "LinkFailureModel",
+    "NodeFailureModel",
+    "ByzantineModel",
+    "ByzantineBehavior",
+    "ByzantineAwareRouter",
+    "RedundantRouter",
+    "Table1Bounds",
+    "failure_sweep_levels",
+]

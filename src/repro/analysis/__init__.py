@@ -1,0 +1,21 @@
+"""Analysis utilities: statistics and curve fitting for the experiments."""
+
+from repro.analysis.fitting import (
+    fit_log_squared_model,
+    fit_power_law,
+    goodness_of_fit_r2,
+)
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    mean_confidence_interval,
+    total_variation_distance,
+)
+
+__all__ = [
+    "mean_confidence_interval",
+    "binomial_confidence_interval",
+    "total_variation_distance",
+    "fit_power_law",
+    "fit_log_squared_model",
+    "goodness_of_fit_r2",
+]

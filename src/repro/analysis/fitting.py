@@ -1,0 +1,60 @@
+"""Curve fitting for comparing measured scaling against the paper's bounds.
+
+Asymptotic bounds (``O(log^2 n)``, ``O(log_b n)``, ...) only constrain growth
+rates, so the experiments fit simple parametric models and compare fitted
+exponents / coefficients rather than absolute values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["fit_power_law", "fit_log_squared_model", "goodness_of_fit_r2"]
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y = c * x^alpha`` by least squares in log-log space.
+
+    Returns ``(alpha, c)``.  All inputs must be positive.
+    """
+    x_array = np.asarray(list(x), dtype=float)
+    y_array = np.asarray(list(y), dtype=float)
+    if x_array.shape != y_array.shape or x_array.size < 2:
+        raise ValueError("x and y must have equal length >= 2")
+    if np.any(x_array <= 0) or np.any(y_array <= 0):
+        raise ValueError("power-law fitting requires strictly positive data")
+    slope, intercept = np.polyfit(np.log(x_array), np.log(y_array), deg=1)
+    return float(slope), float(np.exp(intercept))
+
+
+def fit_log_squared_model(n: Sequence[float], hops: Sequence[float]) -> tuple[float, float]:
+    """Fit ``hops = a * log2(n)^2 + b`` by linear least squares.
+
+    Returns ``(a, b)``.  A good fit (positive ``a``, high R²) over a range of
+    ``n`` is the experimental signature of the paper's ``Θ(log^2 n)``
+    delivery time with a single long link.
+    """
+    n_array = np.asarray(list(n), dtype=float)
+    hops_array = np.asarray(list(hops), dtype=float)
+    if n_array.shape != hops_array.shape or n_array.size < 2:
+        raise ValueError("n and hops must have equal length >= 2")
+    if np.any(n_array < 2):
+        raise ValueError("n values must be >= 2")
+    feature = np.log2(n_array) ** 2
+    a, b = np.polyfit(feature, hops_array, deg=1)
+    return float(a), float(b)
+
+
+def goodness_of_fit_r2(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination R² between observed and predicted values."""
+    observed_array = np.asarray(list(observed), dtype=float)
+    predicted_array = np.asarray(list(predicted), dtype=float)
+    if observed_array.shape != predicted_array.shape or observed_array.size < 2:
+        raise ValueError("observed and predicted must have equal length >= 2")
+    residual = float(np.sum((observed_array - predicted_array) ** 2))
+    total = float(np.sum((observed_array - observed_array.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total

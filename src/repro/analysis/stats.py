@@ -1,0 +1,107 @@
+"""Statistical helpers used when reporting experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ensure_in_range, ensure_probability
+
+__all__ = [
+    "mean_confidence_interval",
+    "binomial_confidence_interval",
+    "total_variation_distance",
+]
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` for a normal-approximation confidence interval.
+
+    Uses the z-quantile of the normal distribution (adequate for the sample
+    sizes the experiments use); an empty input returns ``(0, 0, 0)``.
+    """
+    ensure_in_range(confidence, "confidence", 0.0, 1.0)
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0, 0.0, 0.0
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, mean, mean
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean, mean - half_width, mean + half_width
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Wilson score interval ``(proportion, low, high)`` for a binomial proportion."""
+    if trials <= 0:
+        return 0.0, 0.0, 0.0
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes ({successes}) must be in [0, {trials}]")
+    ensure_in_range(confidence, "confidence", 0.0, 1.0)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (proportion + z * z / (2 * trials)) / denominator
+    half_width = (
+        z
+        * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return proportion, max(0.0, centre - half_width), min(1.0, centre + half_width)
+
+
+def total_variation_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Total variation distance ``0.5 * sum |p_i − q_i|`` between two distributions.
+
+    Inputs are normalised first, so unnormalised histograms are accepted.
+    """
+    p_array = np.asarray(list(p), dtype=float)
+    q_array = np.asarray(list(q), dtype=float)
+    if p_array.shape != q_array.shape:
+        raise ValueError("p and q must have the same length")
+    if p_array.sum() <= 0 or q_array.sum() <= 0:
+        raise ValueError("p and q must each have positive total mass")
+    p_array = p_array / p_array.sum()
+    q_array = q_array / q_array.sum()
+    return float(0.5 * np.abs(p_array - q_array).sum())
+
+
+def _normal_quantile(probability: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's rational approximation)."""
+    ensure_probability(probability, "probability")
+    if probability <= 0.0:
+        return -math.inf
+    if probability >= 1.0:
+        return math.inf
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if probability < p_low:
+        q = math.sqrt(-2 * math.log(probability))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if probability > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - probability))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = probability - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

@@ -1,0 +1,24 @@
+"""Baseline peer-to-peer routing systems for comparison.
+
+Section 3 of the paper surveys the systems its overlay generalises: Chord,
+CAN, and Tapestry (Plaxton-style prefix routing), and Section 2 positions the
+work relative to Kleinberg's small-world grid.  Implementing these baselines
+lets the experiment harness compare hop counts and failure behaviour across
+designs on identical workloads.
+
+All baselines expose the same minimal interface: ``route(source, target)``
+returning a :class:`~repro.core.routing.RouteResult`, plus ``labels()`` and
+failure injection via ``fail_node``.
+"""
+
+from repro.baselines.can import CanNetwork
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.kleinberg_grid import KleinbergGridNetwork
+from repro.baselines.plaxton import PlaxtonNetwork
+
+__all__ = [
+    "ChordNetwork",
+    "KleinbergGridNetwork",
+    "CanNetwork",
+    "PlaxtonNetwork",
+]

@@ -1,0 +1,159 @@
+"""CAN baseline (Ratnasamy et al., SIGCOMM 2001) — simplified d-dimensional torus.
+
+CAN partitions a ``d``-dimensional coordinate space into zones, one per node,
+and routes greedily through neighbouring zones; each node keeps ``O(d)`` state
+and routing costs ``O(d * n^(1/d))`` hops.  This baseline models the common
+simplification in which every node owns a unit hyper-cube cell of a
+``side^d`` torus and neighbours are the ``2d`` adjacent cells: the state and
+hop-count scaling are exactly CAN's, which is what the comparison experiments
+need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metric import TorusMetric
+from repro.core.routing import FailureReason, RouteResult
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["CanNetwork"]
+
+
+@dataclass
+class CanNetwork:
+    """A CAN-style d-dimensional torus of unit zones.
+
+    Parameters
+    ----------
+    side:
+        Number of zones along each dimension.
+    dimensions:
+        Number of dimensions ``d``.
+    seed:
+        Kept for interface symmetry (construction is deterministic).
+    """
+
+    side: int
+    dimensions: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.side, "side")
+        ensure_positive(self.dimensions, "dimensions")
+        self.space = TorusMetric(self.side, dimensions=self.dimensions)
+        self.size = self.side**self.dimensions
+        self._alive = np.ones(self.size, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Coordinate helpers
+    # ------------------------------------------------------------------ #
+
+    def label_to_point(self, label: int) -> tuple[int, ...]:
+        """Flattened label -> coordinate tuple (row-major)."""
+        coordinates = []
+        remaining = int(label)
+        for _ in range(self.dimensions):
+            coordinates.append(remaining % self.side)
+            remaining //= self.side
+        return tuple(reversed(coordinates))
+
+    def point_to_label(self, point: tuple[int, ...]) -> int:
+        """Coordinate tuple -> flattened label (row-major)."""
+        label = 0
+        for coordinate in point:
+            label = label * self.side + (int(coordinate) % self.side)
+        return label
+
+    def neighbors_of(self, label: int) -> list[int]:
+        """The ``2d`` zone neighbours of ``label`` on the torus."""
+        point = self.label_to_point(label)
+        result = []
+        for axis, delta in itertools.product(range(self.dimensions), (-1, 1)):
+            neighbor = list(point)
+            neighbor[axis] = (neighbor[axis] + delta) % self.side
+            result.append(self.point_to_label(tuple(neighbor)))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Membership and failures
+    # ------------------------------------------------------------------ #
+
+    def labels(self, only_alive: bool = True) -> list[int]:
+        if only_alive:
+            return [int(i) for i in np.flatnonzero(self._alive)]
+        return list(range(self.size))
+
+    def is_alive(self, label: int) -> bool:
+        return bool(self._alive[label])
+
+    def fail_node(self, label: int) -> None:
+        self._alive[label] = False
+
+    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
+        """Fail a uniformly random fraction of the live nodes."""
+        protect = protect or set()
+        rng = spawn_rng(seed, "can-failures")
+        candidates = [label for label in self.labels() if label not in protect]
+        count = min(len(candidates), int(round(fraction * len(candidates))))
+        victims: list[int] = []
+        if count > 0:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            victims = [candidates[int(i)] for i in chosen]
+        for victim in victims:
+            self.fail_node(victim)
+        return victims
+
+    def repair(self) -> None:
+        self._alive[:] = True
+
+    def state_per_node(self) -> int:
+        """CAN's ``O(d)`` routing state: the number of zone neighbours."""
+        return 2 * self.dimensions
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Greedy zone-by-zone routing from ``source`` to ``target``."""
+        if not self.is_alive(source):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_SOURCE)
+        if not self.is_alive(target):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_TARGET)
+        target_point = self.label_to_point(target)
+        path = [source]
+        hops = 0
+        current = source
+        hop_limit = self.dimensions * self.side * 4 + 64
+        while hops < hop_limit:
+            if current == target:
+                return RouteResult(success=True, hops=hops, path=path)
+            current_distance = self.space.distance(
+                self.label_to_point(current), target_point
+            )
+            best: int | None = None
+            best_distance = current_distance
+            for neighbor in self.neighbors_of(current):
+                if not self.is_alive(neighbor):
+                    continue
+                distance = self.space.distance(
+                    self.label_to_point(neighbor), target_point
+                )
+                if distance < best_distance:
+                    best = neighbor
+                    best_distance = distance
+            if best is None:
+                return RouteResult(success=False, hops=hops, path=path,
+                                   failure_reason=FailureReason.STUCK)
+            current = best
+            path.append(current)
+            hops += 1
+        return RouteResult(success=False, hops=hops, path=path,
+                           failure_reason=FailureReason.HOP_LIMIT)

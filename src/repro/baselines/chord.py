@@ -1,0 +1,215 @@
+"""Chord baseline (Stoica et al., SIGCOMM 2001).
+
+Chord places nodes on a modulo-``2^m`` identifier circle; every node keeps a
+finger table whose ``i``-th entry is the first live node at clockwise distance
+at least ``2^(i-1)``, and routing forwards greedily to the farthest finger
+that does not overshoot the target (one-sided clockwise routing).  The paper
+(Section 3) treats Chord as one instance of its general metric-space
+framework; this implementation lets the experiments compare hop counts and
+failure resilience against the inverse power-law overlay on the same ring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metric import RingMetric
+from repro.core.routing import FailureReason, RouteResult
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["ChordNetwork"]
+
+
+@dataclass
+class ChordNetwork:
+    """A Chord ring over the identifier space ``[0, 2^bits)``.
+
+    Parameters
+    ----------
+    bits:
+        Identifier length ``m``; the ring has ``2^m`` points.
+    members:
+        Node identifiers (a subset of the identifier space).  When ``None``
+        every identifier hosts a node.
+    successor_list_length:
+        Length of the successor list each node keeps for fault tolerance
+        (routing falls back to successors when all fingers overshoot or are
+        dead).
+    seed:
+        Unused at present (Chord is deterministic given the membership) but
+        kept for interface symmetry with the randomized builders.
+    """
+
+    bits: int
+    members: list[int] | None = None
+    successor_list_length: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.bits, "bits")
+        self.size = 1 << self.bits
+        self.space = RingMetric(self.size)
+        if self.members is None:
+            self.members = list(range(self.size))
+        self.members = sorted(set(int(m) % self.size for m in self.members))
+        if len(self.members) < 2:
+            raise ValueError("a Chord ring needs at least two members")
+        self._alive: dict[int, bool] = {label: True for label in self.members}
+        self._member_array = np.array(self.members)
+        self._fingers: dict[int, list[int]] = {}
+        self._successors: dict[int, list[int]] = {}
+        self.build_routing_tables()
+
+    # ------------------------------------------------------------------ #
+    # Table construction
+    # ------------------------------------------------------------------ #
+
+    def successor_of(self, point: int) -> int:
+        """Return the first member at or clockwise after ``point`` (alive or not)."""
+        index = int(np.searchsorted(self._member_array, point % self.size))
+        if index == len(self.members):
+            index = 0
+        return int(self._member_array[index])
+
+    def build_routing_tables(self) -> None:
+        """(Re)build every member's finger table and successor list."""
+        for label in self.members:
+            fingers = []
+            for i in range(self.bits):
+                start = (label + (1 << i)) % self.size
+                fingers.append(self.successor_of(start))
+            self._fingers[label] = fingers
+            successors = []
+            cursor = label
+            for _ in range(self.successor_list_length):
+                cursor = self.successor_of((cursor + 1) % self.size)
+                successors.append(cursor)
+                if cursor == label:
+                    break
+            self._successors[label] = successors
+
+    # ------------------------------------------------------------------ #
+    # Membership and failures
+    # ------------------------------------------------------------------ #
+
+    def labels(self, only_alive: bool = True) -> list[int]:
+        """Member identifiers, optionally restricted to live nodes."""
+        if only_alive:
+            return [label for label in self.members if self._alive[label]]
+        return list(self.members)
+
+    def is_alive(self, label: int) -> bool:
+        """Whether the member at ``label`` is alive."""
+        return self._alive.get(label, False)
+
+    def fail_node(self, label: int) -> None:
+        """Fail the member at ``label`` (finger tables are *not* rebuilt)."""
+        if label in self._alive:
+            self._alive[label] = False
+
+    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
+        """Fail a uniformly random fraction of the live members."""
+        protect = protect or set()
+        rng = spawn_rng(seed, "chord-failures")
+        candidates = [label for label in self.labels() if label not in protect]
+        count = min(len(candidates), int(round(fraction * len(candidates))))
+        victims = []
+        if count > 0:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            victims = [candidates[int(i)] for i in chosen]
+        for victim in victims:
+            self.fail_node(victim)
+        return victims
+
+    def repair(self) -> None:
+        """Revive every member and rebuild the routing tables."""
+        for label in self._alive:
+            self._alive[label] = True
+        self.build_routing_tables()
+
+    def stabilize(self) -> None:
+        """Rebuild tables over the live membership (Chord's repair protocol outcome)."""
+        live = self.labels(only_alive=True)
+        if len(live) < 2:
+            return
+        saved_alive = dict(self._alive)
+        self.members = live
+        self._member_array = np.array(self.members)
+        self._alive = {label: True for label in live}
+        self.build_routing_tables()
+        # Preserve the liveness of nodes that were failed but not excised.
+        for label, alive in saved_alive.items():
+            if label in self._alive:
+                self._alive[label] = alive
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Greedy clockwise routing from ``source`` to the member ``target``."""
+        if not self.is_alive(source):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_SOURCE)
+        if not self.is_alive(target):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_TARGET)
+        path = [source]
+        hops = 0
+        current = source
+        hop_limit = 4 * self.bits + 32
+        while hops < hop_limit:
+            if current == target:
+                return RouteResult(success=True, hops=hops, path=path)
+            next_hop = self._next_hop(current, target)
+            if next_hop is None:
+                return RouteResult(success=False, hops=hops, path=path,
+                                   failure_reason=FailureReason.STUCK)
+            current = next_hop
+            path.append(current)
+            hops += 1
+        return RouteResult(success=False, hops=hops, path=path,
+                           failure_reason=FailureReason.HOP_LIMIT)
+
+    def _next_hop(self, current: int, target: int) -> int | None:
+        """Farthest live finger that does not overshoot the target, else a successor."""
+        remaining = self.space.clockwise_distance(current, target)
+        best: int | None = None
+        best_advance = 0
+        for finger in self._fingers[current]:
+            if finger == current or not self.is_alive(finger):
+                continue
+            advance = self.space.clockwise_distance(current, finger)
+            if 0 < advance <= remaining and advance > best_advance:
+                best = finger
+                best_advance = advance
+        if best is not None:
+            return best
+        for successor in self._successors[current]:
+            if successor == current or not self.is_alive(successor):
+                continue
+            advance = self.space.clockwise_distance(current, successor)
+            if 0 < advance <= remaining:
+                return successor
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def average_table_size(self) -> float:
+        """Average number of distinct routing entries per node."""
+        total = 0
+        for label in self.members:
+            entries = set(self._fingers[label]) | set(self._successors[label])
+            entries.discard(label)
+            total += len(entries)
+        return total / len(self.members)
+
+    def expected_hops(self) -> float:
+        """Chord's textbook expected hop count, ``0.5 * log2(n)``."""
+        return 0.5 * math.log2(max(2, len(self.members)))

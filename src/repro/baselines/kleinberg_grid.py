@@ -1,0 +1,178 @@
+"""Kleinberg small-world grid baseline (Kleinberg, STOC 2000).
+
+Nodes sit at every point of a ``side x side`` torus; each node links to its
+four grid neighbours and to ``links_per_node`` long-range contacts drawn with
+probability proportional to ``d^-exponent`` (the harmonic case ``exponent =
+2`` is Kleinberg's optimum in two dimensions).  Greedy routing forwards to the
+neighbour closest to the target in L1 torus distance.
+
+The paper (Section 2) describes its own construction as a generalisation of
+Kleinberg's; this baseline lets the experiments show the effect of dimension
+and of the exponent choice, including Kleinberg's result that exponents far
+from the dimension degrade greedy routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metric import TorusMetric
+from repro.core.routing import FailureReason, RouteResult
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["KleinbergGridNetwork"]
+
+
+@dataclass
+class KleinbergGridNetwork:
+    """A two-dimensional Kleinberg small-world torus.
+
+    Parameters
+    ----------
+    side:
+        Side length of the grid (``side * side`` nodes).
+    links_per_node:
+        Number of long-range contacts per node (Kleinberg's q).
+    exponent:
+        Clustering exponent ``r``; 2.0 is optimal for a two-dimensional grid.
+    seed:
+        Seed for contact selection.
+    """
+
+    side: int
+    links_per_node: int = 1
+    exponent: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.side, "side")
+        ensure_positive(self.links_per_node, "links_per_node")
+        self.space = TorusMetric(self.side, dimensions=2)
+        self.size = self.side * self.side
+        self._alive = np.ones(self.size, dtype=bool)
+        self._contacts: dict[int, list[int]] = {}
+        self._build_contacts()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def label_to_point(self, label: int) -> tuple[int, int]:
+        """Flattened label -> (row, column)."""
+        return (label // self.side, label % self.side)
+
+    def point_to_label(self, point: tuple[int, int]) -> int:
+        """(row, column) -> flattened label."""
+        return (point[0] % self.side) * self.side + (point[1] % self.side)
+
+    def _build_contacts(self) -> None:
+        rng = spawn_rng(self.seed, "kleinberg-contacts")
+        labels = np.arange(self.size)
+        rows, columns = labels // self.side, labels % self.side
+        for label in range(self.size):
+            row, column = self.label_to_point(label)
+            row_diff = np.abs(rows - row)
+            column_diff = np.abs(columns - column)
+            distance = (
+                np.minimum(row_diff, self.side - row_diff)
+                + np.minimum(column_diff, self.side - column_diff)
+            ).astype(float)
+            with np.errstate(divide="ignore"):
+                weights = np.where(distance > 0, distance**-self.exponent, 0.0)
+            probabilities = weights / weights.sum()
+            chosen = rng.choice(self.size, size=self.links_per_node, p=probabilities)
+            self._contacts[label] = sorted(set(int(c) for c in chosen) - {label})
+
+    def grid_neighbors(self, label: int) -> list[int]:
+        """The four lattice neighbours of ``label`` on the torus."""
+        row, column = self.label_to_point(label)
+        return [
+            self.point_to_label(((row + 1) % self.side, column)),
+            self.point_to_label(((row - 1) % self.side, column)),
+            self.point_to_label((row, (column + 1) % self.side)),
+            self.point_to_label((row, (column - 1) % self.side)),
+        ]
+
+    def neighbors_of(self, label: int) -> list[int]:
+        """Grid neighbours plus long-range contacts."""
+        return self.grid_neighbors(label) + self._contacts[label]
+
+    # ------------------------------------------------------------------ #
+    # Membership and failures
+    # ------------------------------------------------------------------ #
+
+    def labels(self, only_alive: bool = True) -> list[int]:
+        """All node labels, optionally only the live ones."""
+        if only_alive:
+            return [int(i) for i in np.flatnonzero(self._alive)]
+        return list(range(self.size))
+
+    def is_alive(self, label: int) -> bool:
+        return bool(self._alive[label])
+
+    def fail_node(self, label: int) -> None:
+        self._alive[label] = False
+
+    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
+        """Fail a uniformly random fraction of the live nodes."""
+        protect = protect or set()
+        rng = spawn_rng(seed, "kleinberg-failures")
+        candidates = [label for label in self.labels() if label not in protect]
+        count = min(len(candidates), int(round(fraction * len(candidates))))
+        victims: list[int] = []
+        if count > 0:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            victims = [candidates[int(i)] for i in chosen]
+        for victim in victims:
+            self.fail_node(victim)
+        return victims
+
+    def repair(self) -> None:
+        """Revive every node."""
+        self._alive[:] = True
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Greedy L1 routing from ``source`` to ``target`` over live nodes."""
+        if not self.is_alive(source):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_SOURCE)
+        if not self.is_alive(target):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_TARGET)
+        target_point = self.label_to_point(target)
+        path = [source]
+        hops = 0
+        current = source
+        hop_limit = 8 * self.side + 64
+        while hops < hop_limit:
+            if current == target:
+                return RouteResult(success=True, hops=hops, path=path)
+            current_distance = self.space.distance(
+                self.label_to_point(current), target_point
+            )
+            best: int | None = None
+            best_distance = current_distance
+            for neighbor in self.neighbors_of(current):
+                if not self.is_alive(neighbor):
+                    continue
+                distance = self.space.distance(
+                    self.label_to_point(neighbor), target_point
+                )
+                if distance < best_distance:
+                    best = neighbor
+                    best_distance = distance
+            if best is None:
+                return RouteResult(success=False, hops=hops, path=path,
+                                   failure_reason=FailureReason.STUCK)
+            current = best
+            path.append(current)
+            hops += 1
+        return RouteResult(success=False, hops=hops, path=path,
+                           failure_reason=FailureReason.HOP_LIMIT)

@@ -1,0 +1,162 @@
+"""Plaxton / Tapestry-style prefix routing baseline.
+
+Tapestry (and Pastry) route by resolving the target identifier one digit at a
+time: a node whose identifier shares a ``k``-digit prefix with the target
+forwards to a neighbour sharing ``k + 1`` digits.  With identifiers of
+``digits`` base-``base`` digits this takes at most ``digits = log_base(n)``
+hops and each node keeps ``O(base * log_base n)`` routing entries — the same
+state/hop trade-off as the paper's deterministic base-``b`` scheme
+(Theorem 14), which is why the comparison is instructive.
+
+This implementation assumes the fully populated identifier space (every
+identifier hosts a node), which keeps the routing-table construction exact;
+failures are injected afterwards, as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.routing import FailureReason, RouteResult
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["PlaxtonNetwork"]
+
+
+@dataclass
+class PlaxtonNetwork:
+    """Suffix/prefix digit routing over a fully populated identifier space.
+
+    Parameters
+    ----------
+    digits:
+        Number of identifier digits.
+    base:
+        Digit base (the identifier space has ``base ** digits`` nodes).
+    seed:
+        Kept for interface symmetry; construction is deterministic.
+    """
+
+    digits: int
+    base: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.digits, "digits")
+        if self.base < 2:
+            raise ValueError(f"base must be >= 2, got {self.base}")
+        self.size = self.base**self.digits
+        self._alive = np.ones(self.size, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Digit helpers
+    # ------------------------------------------------------------------ #
+
+    def digits_of(self, label: int) -> list[int]:
+        """Return the base-``base`` digits of ``label``, most significant first."""
+        result = []
+        remaining = int(label)
+        for _ in range(self.digits):
+            result.append(remaining % self.base)
+            remaining //= self.base
+        return list(reversed(result))
+
+    def label_from_digits(self, digit_list: list[int]) -> int:
+        """Inverse of :meth:`digits_of`."""
+        label = 0
+        for digit in digit_list:
+            label = label * self.base + int(digit) % self.base
+        return label
+
+    def shared_prefix_length(self, a: int, b: int) -> int:
+        """Number of leading digits ``a`` and ``b`` share."""
+        digits_a = self.digits_of(a)
+        digits_b = self.digits_of(b)
+        shared = 0
+        for digit_a, digit_b in zip(digits_a, digits_b):
+            if digit_a != digit_b:
+                break
+            shared += 1
+        return shared
+
+    # ------------------------------------------------------------------ #
+    # Membership and failures
+    # ------------------------------------------------------------------ #
+
+    def labels(self, only_alive: bool = True) -> list[int]:
+        if only_alive:
+            return [int(i) for i in np.flatnonzero(self._alive)]
+        return list(range(self.size))
+
+    def is_alive(self, label: int) -> bool:
+        return bool(self._alive[label])
+
+    def fail_node(self, label: int) -> None:
+        self._alive[label] = False
+
+    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
+        """Fail a uniformly random fraction of the live nodes."""
+        protect = protect or set()
+        rng = spawn_rng(seed, "plaxton-failures")
+        candidates = [label for label in self.labels() if label not in protect]
+        count = min(len(candidates), int(round(fraction * len(candidates))))
+        victims: list[int] = []
+        if count > 0:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            victims = [candidates[int(i)] for i in chosen]
+        for victim in victims:
+            self.fail_node(victim)
+        return victims
+
+    def repair(self) -> None:
+        self._alive[:] = True
+
+    def state_per_node(self) -> int:
+        """Routing entries per node: ``(base - 1) * digits``."""
+        return (self.base - 1) * self.digits
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Fix the target's digits one at a time, most significant first.
+
+        At each step the current node forwards to the node whose identifier
+        matches the target in one more leading digit and matches the current
+        node elsewhere.  If that node is dead the route is stuck (Tapestry
+        would consult backup neighbours; the paper's comparison uses the
+        unadorned algorithm).
+        """
+        if not self.is_alive(source):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_SOURCE)
+        if not self.is_alive(target):
+            return RouteResult(success=False, hops=0, path=[source],
+                               failure_reason=FailureReason.DEAD_TARGET)
+        path = [source]
+        hops = 0
+        current = source
+        target_digits = self.digits_of(target)
+        while hops <= self.digits + 1:
+            if current == target:
+                return RouteResult(success=True, hops=hops, path=path)
+            shared = self.shared_prefix_length(current, target)
+            next_digits = self.digits_of(current)
+            next_digits[: shared + 1] = target_digits[: shared + 1]
+            next_hop = self.label_from_digits(next_digits)
+            if next_hop == current:
+                # The digit already matched; advance the prefix further.
+                next_digits = target_digits[: shared + 1] + self.digits_of(current)[shared + 1:]
+                next_hop = self.label_from_digits(next_digits)
+            if not self.is_alive(next_hop):
+                return RouteResult(success=False, hops=hops, path=path,
+                                   failure_reason=FailureReason.STUCK)
+            current = next_hop
+            path.append(current)
+            hops += 1
+        return RouteResult(success=False, hops=hops, path=path,
+                           failure_reason=FailureReason.HOP_LIMIT)

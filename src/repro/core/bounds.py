@@ -1,0 +1,314 @@
+"""Theoretical bounds from Section 4 and Table 1 of the paper.
+
+This module turns the paper's analytical results into executable code so that
+the experiment harness can plot *measured* hop counts next to the *predicted*
+asymptotic shapes, and so that the probabilistic-recurrence machinery
+(Lemma 1 and Theorem 2) is available as reusable numerical tools.
+
+Contents
+--------
+* :func:`harmonic` — harmonic numbers ``H_n`` (the paper's delivery-time
+  bounds are naturally expressed in terms of ``H_n ~ ln n``).
+* :func:`karp_upfal_wigderson_bound` — the Lemma-1 upper bound
+  ``T(X0) <= ∫ 1/μ_z dz`` for a non-increasing Markov chain with
+  non-decreasing drift ``μ_z``.
+* :func:`theorem2_lower_bound` — the Theorem-2 lower bound
+  ``E[τ] >= T(X0) / (ε T(X0) + 1 − ε)``.
+* :class:`Table1Bounds` — closed-form evaluations of every row of Table 1,
+  with both the upper-bound and (where stated) the lower-bound expression.
+* Per-theorem helpers (:func:`upper_bound_single_link`,
+  :func:`upper_bound_multiple_links`, ...) mapping directly onto
+  Theorems 12–18.
+
+Asymptotic bounds hide constants; each helper therefore returns the *shape*
+(the expression inside the O/Ω) so that experiments can fit a single scaling
+constant and compare growth rates rather than absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.distributions import harmonic_number
+from repro.util.validation import ensure_positive, ensure_probability
+
+__all__ = [
+    "harmonic",
+    "karp_upfal_wigderson_bound",
+    "theorem2_lower_bound",
+    "upper_bound_single_link",
+    "upper_bound_multiple_links",
+    "upper_bound_deterministic",
+    "upper_bound_link_failures_random",
+    "upper_bound_link_failures_deterministic",
+    "upper_bound_node_failures",
+    "lower_bound_one_sided",
+    "lower_bound_two_sided",
+    "lower_bound_large_degree",
+    "Table1Bounds",
+    "fit_scale_factor",
+]
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n`` (alias for the distributions helper)."""
+    return harmonic_number(n)
+
+
+def karp_upfal_wigderson_bound(
+    start: float,
+    drift: Callable[[float], float],
+    floor: float = 1.0,
+    samples: int = 10_000,
+) -> float:
+    """Numerically evaluate the Lemma-1 upper bound ``∫_floor^start dz / μ_z``.
+
+    Parameters
+    ----------
+    start:
+        The chain's starting value ``X0``.
+    drift:
+        The drift function ``μ_z = E[X_t − X_{t+1} | X_t = z]``; must be
+        positive on ``[floor, start]`` and non-decreasing for the bound to be
+        valid (the caller is responsible for the monotonicity condition).
+    floor:
+        Lower limit of the integral (the chain's absorbing threshold, 1 in the
+        paper's statement).
+    samples:
+        Number of points for the trapezoidal quadrature.
+
+    Returns
+    -------
+    float
+        An upper bound on the expected time for the chain to drop to ``floor``.
+    """
+    ensure_positive(samples, "samples")
+    if start <= floor:
+        return 0.0
+    grid = np.linspace(floor, start, samples)
+    values = np.array([1.0 / drift(z) for z in grid])
+    if np.any(~np.isfinite(values)) or np.any(values < 0):
+        raise ValueError("drift must be positive and finite over the integration range")
+    return float(np.trapezoid(values, grid))
+
+
+def theorem2_lower_bound(
+    start: float,
+    speed_cap: Callable[[float], float],
+    epsilon: float,
+    samples: int = 10_000,
+) -> float:
+    """Numerically evaluate the Theorem-2 lower bound.
+
+    ``T(X0) = ∫_0^{f(X0)} dz / m_z`` and
+    ``E[τ] >= T(X0) / (ε T(X0) + 1 − ε)``.
+
+    Parameters
+    ----------
+    start:
+        The starting potential ``f(X0)`` (e.g. ``ln n``).
+    speed_cap:
+        The function ``m_z`` bounding the average speed past ``z``.
+    epsilon:
+        Probability bound on long jumps (the paper's ``ε``).
+    samples:
+        Number of points for the trapezoidal quadrature.
+    """
+    ensure_probability(epsilon, "epsilon")
+    if start <= 0:
+        return 0.0
+    grid = np.linspace(0.0, start, samples)[1:]
+    values = np.array([1.0 / speed_cap(z) for z in grid])
+    if np.any(~np.isfinite(values)) or np.any(values < 0):
+        raise ValueError("speed_cap must be positive and finite over the integration range")
+    big_t = float(np.trapezoid(values, grid))
+    return big_t / (epsilon * big_t + (1.0 - epsilon))
+
+
+# --------------------------------------------------------------------------- #
+# Upper bounds (Theorems 12–18)
+# --------------------------------------------------------------------------- #
+
+
+def upper_bound_single_link(n: int) -> float:
+    """Theorem 12: ``O(H_n^2)`` delivery time with a single long link per node."""
+    ensure_positive(n, "n")
+    return harmonic(n) ** 2
+
+
+def upper_bound_multiple_links(n: int, links: float) -> float:
+    """Theorem 13: ``O(log^2 n / l)`` with ``l`` links in ``[1, lg n]``."""
+    ensure_positive(n, "n")
+    ensure_positive(links, "links")
+    return math.log2(max(2, n)) ** 2 / links
+
+
+def upper_bound_deterministic(n: int, base: int) -> float:
+    """Theorem 14: ``O(log_b n)`` with the deterministic base-``b`` digit links."""
+    ensure_positive(n, "n")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    return math.log(max(2, n), base)
+
+
+def upper_bound_link_failures_random(n: int, links: float, p: float) -> float:
+    """Theorem 15: ``O(log^2 n / (p l))`` when each long link survives w.p. ``p``."""
+    ensure_positive(n, "n")
+    ensure_positive(links, "links")
+    ensure_probability(p, "p")
+    if p == 0:
+        return math.inf
+    return math.log2(max(2, n)) ** 2 / (p * links)
+
+
+def upper_bound_link_failures_deterministic(n: int, base: int, p: float) -> float:
+    """Theorem 16: ``O(b H_n / p)`` for power-of-``b`` links with survival ``p``."""
+    ensure_positive(n, "n")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    ensure_probability(p, "p")
+    if p == 0:
+        return math.inf
+    return base * harmonic(n) / p
+
+
+def upper_bound_node_failures(n: int, links: float, p: float) -> float:
+    """Theorem 18: ``O(log^2 n / ((1 − p) l))`` when each node fails w.p. ``p``."""
+    ensure_positive(n, "n")
+    ensure_positive(links, "links")
+    ensure_probability(p, "p")
+    if p >= 1:
+        return math.inf
+    return math.log2(max(2, n)) ** 2 / ((1.0 - p) * links)
+
+
+# --------------------------------------------------------------------------- #
+# Lower bounds (Theorems 3 and 10)
+# --------------------------------------------------------------------------- #
+
+
+def lower_bound_one_sided(n: int, links: float) -> float:
+    """Theorem 10, one-sided: ``Ω(log^2 n / (l log log n))``."""
+    ensure_positive(n, "n")
+    ensure_positive(links, "links")
+    log_n = math.log2(max(4, n))
+    return log_n**2 / (links * max(1.0, math.log2(log_n)))
+
+
+def lower_bound_two_sided(n: int, links: float) -> float:
+    """Theorem 10, two-sided: ``Ω(log^2 n / (l^2 log log n))``."""
+    ensure_positive(n, "n")
+    ensure_positive(links, "links")
+    log_n = math.log2(max(4, n))
+    return log_n**2 / (links**2 * max(1.0, math.log2(log_n)))
+
+
+def lower_bound_large_degree(n: int, links: float) -> float:
+    """Theorem 3: ``Ω(log n / log l)`` for ``l`` in ``(lg n, n^c]``."""
+    ensure_positive(n, "n")
+    if links <= 1:
+        raise ValueError(f"links must exceed 1 for Theorem 3, got {links}")
+    return math.log2(max(2, n)) / math.log2(links)
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Table1Bounds:
+    """Closed-form evaluation of every row of the paper's Table 1.
+
+    Each method returns a ``(upper, lower)`` pair of bound *shapes* for the
+    given parameters; ``lower`` is ``None`` for the rows where the paper
+    states no lower bound (the failure models).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    """
+
+    n: int
+
+    def no_failures_single_link(self) -> tuple[float, float]:
+        """Row 1: ``l = 1``, no failures."""
+        upper = upper_bound_single_link(self.n)
+        log_n = math.log2(max(4, self.n))
+        lower = log_n**2 / max(1.0, math.log2(log_n))
+        return upper, lower
+
+    def no_failures_polylog_links(self, links: float) -> tuple[float, float]:
+        """Row 2: ``l`` in ``[1, lg n]``, no failures."""
+        return (
+            upper_bound_multiple_links(self.n, links),
+            lower_bound_one_sided(self.n, links),
+        )
+
+    def no_failures_large_links(self, base: int, links: float) -> tuple[float, float]:
+        """Row 3: ``l`` in ``(lg n, n^c]``, deterministic base-``b`` links."""
+        return (
+            upper_bound_deterministic(self.n, base),
+            lower_bound_large_degree(self.n, links),
+        )
+
+    def link_failures_polylog_links(self, links: float, p: float) -> tuple[float, None]:
+        """Row 4: link failures, random strategy."""
+        return upper_bound_link_failures_random(self.n, links, p), None
+
+    def link_failures_deterministic(self, base: int, p: float) -> tuple[float, None]:
+        """Row 5: link failures, deterministic strategy."""
+        return upper_bound_link_failures_deterministic(self.n, base, p), None
+
+    def node_failures_polylog_links(self, links: float, p: float) -> tuple[float, None]:
+        """Row 6: node failures (each node alive w.p. ``1 − p``)."""
+        return upper_bound_node_failures(self.n, links, p), None
+
+    def rows(self, links: float | None = None, base: int = 2, p: float = 0.5) -> list[dict]:
+        """Return all Table-1 rows evaluated at representative parameters.
+
+        Useful for printing a summary table next to measured values.
+        """
+        if links is None:
+            links = max(1.0, math.log2(max(2, self.n)))
+        row_definitions = [
+            ("no failures, l=1", self.no_failures_single_link()),
+            (f"no failures, l={links:g}", self.no_failures_polylog_links(links)),
+            (f"no failures, base-{base} deterministic",
+             self.no_failures_large_links(base, links=max(2.0, links))),
+            (f"link failures p={p:g}, l={links:g}",
+             self.link_failures_polylog_links(links, p)),
+            (f"link failures p={p:g}, base-{base}",
+             self.link_failures_deterministic(base, p)),
+            (f"node failures p={p:g}, l={links:g}",
+             self.node_failures_polylog_links(links, p)),
+        ]
+        return [
+            {"model": name, "upper_bound": upper, "lower_bound": lower}
+            for name, (upper, lower) in row_definitions
+        ]
+
+
+def fit_scale_factor(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Fit the single multiplicative constant ``c`` minimising ``|measured − c·predicted|²``.
+
+    Asymptotic bounds are only defined up to a constant; the experiments use
+    this least-squares fit to overlay the predicted shape on the measured
+    curve and then compare *shapes* (ratios, crossing points) rather than
+    absolute values.
+
+    Returns 0.0 when ``predicted`` is identically zero.
+    """
+    measured_array = np.asarray(measured, dtype=float)
+    predicted_array = np.asarray(predicted, dtype=float)
+    if measured_array.shape != predicted_array.shape:
+        raise ValueError("measured and predicted must have the same length")
+    denominator = float(np.dot(predicted_array, predicted_array))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.dot(measured_array, predicted_array) / denominator)

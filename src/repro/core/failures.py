@@ -1,0 +1,302 @@
+"""Failure models: link failures, node failures, and adversarial behaviour.
+
+The paper analyses three failure regimes:
+
+* **Link failures** (Section 4.3.3) — every long-distance link is present
+  independently with probability ``p``; the short links to immediate
+  neighbours never fail, so a message is always deliverable (if slowly).
+* **Node failures, binomial placement** (Section 4.3.4.1) — each grid point
+  hosts a node with probability ``p`` and links are drawn only to existing
+  nodes.  This case is handled at *build* time (see
+  :class:`~repro.core.builder.RandomGraphBuilder`'s ``presence_probability``)
+  because it changes which graph gets built, not which parts of it fail.
+* **General node failures** (Sections 4.3.4.2 and 6) — the network is built
+  first and then a fraction (or probability) ``p`` of nodes fail, taking all
+  their incident links with them.
+
+Section 7 lists robustness against *Byzantine* behaviour as future work; we
+implement a simple adversarial model in which compromised nodes stay alive but
+misbehave during routing (dropping or deliberately misrouting messages), so
+that the extension experiments have something concrete to measure.
+
+All models are **non-destructive**: they flip liveness flags on the graph and
+return a record of what they touched, and every model can :meth:`~FailureModel.repair`
+what it broke.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import OverlayGraph
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_probability
+
+__all__ = [
+    "FailureModel",
+    "LinkFailureModel",
+    "NodeFailureModel",
+    "TargetedNodeFailureModel",
+    "ByzantineModel",
+    "ByzantineBehavior",
+]
+
+
+class FailureModel(abc.ABC):
+    """Base class for failure injectors."""
+
+    @abc.abstractmethod
+    def apply(self, graph: OverlayGraph) -> dict:
+        """Inject failures into ``graph`` and return a summary dictionary."""
+
+    @abc.abstractmethod
+    def repair(self, graph: OverlayGraph) -> None:
+        """Undo the failures this model injected into ``graph``."""
+
+
+@dataclass
+class LinkFailureModel(FailureModel):
+    """Fail each long-distance link independently (Section 4.3.3).
+
+    Each long link survives with probability ``presence_probability``; short
+    links (immediate neighbours) are never touched, matching the paper's
+    assumption that "the links to the immediate neighbours are always present".
+
+    Parameters
+    ----------
+    presence_probability:
+        Probability ``p`` that a long link remains alive.
+    seed:
+        Seed controlling which links fail.
+    """
+
+    presence_probability: float
+    seed: int = 0
+    _failed: list[tuple[int, int]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.presence_probability, "presence_probability")
+
+    def apply(self, graph: OverlayGraph) -> dict:
+        rng = spawn_rng(self.seed, "link-failures")
+        self._failed.clear()
+        total_links = 0
+        for node in graph.nodes():
+            for index, link in enumerate(node.long_links):
+                total_links += 1
+                if rng.random() >= self.presence_probability:
+                    link.alive = False
+                    self._failed.append((node.label, index))
+        return {
+            "model": "link-failure",
+            "presence_probability": self.presence_probability,
+            "total_long_links": total_links,
+            "failed_links": len(self._failed),
+        }
+
+    def repair(self, graph: OverlayGraph) -> None:
+        for label, index in self._failed:
+            if graph.has_node(label) and index < len(graph.node(label).long_links):
+                graph.node(label).long_links[index].alive = True
+        self._failed.clear()
+
+
+@dataclass
+class NodeFailureModel(FailureModel):
+    """Fail nodes after the network is built (Sections 4.3.4.2 and 6).
+
+    Either a *fraction* of nodes is failed exactly (the experimental setup of
+    Section 6, "a fraction p of the nodes fail") or each node fails
+    independently with a *probability* (the analytical model of
+    Section 4.3.4.2); choose with ``mode``.
+
+    Parameters
+    ----------
+    failure_level:
+        The fraction (or per-node probability) of failures, in [0, 1].
+    mode:
+        ``"fraction"`` (default, exact count) or ``"probability"``
+        (independent coin flips).
+    protect:
+        Labels that must never be failed (e.g. the source/destination pairs of
+        a routing experiment, which the paper draws from the live nodes).
+    seed:
+        Seed controlling which nodes fail.
+    """
+
+    failure_level: float
+    mode: str = "fraction"
+    protect: frozenset[int] = frozenset()
+    seed: int = 0
+    _failed: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.failure_level, "failure_level")
+        if self.mode not in ("fraction", "probability"):
+            raise ValueError(f"mode must be 'fraction' or 'probability', got {self.mode!r}")
+        self.protect = frozenset(self.protect)
+
+    def apply(self, graph: OverlayGraph) -> dict:
+        rng = spawn_rng(self.seed, "node-failures")
+        self._failed.clear()
+        candidates = [
+            label for label in graph.labels(only_alive=True) if label not in self.protect
+        ]
+        if self.mode == "fraction":
+            count = int(round(self.failure_level * len(candidates)))
+            count = min(count, len(candidates))
+            if count > 0:
+                chosen = rng.choice(len(candidates), size=count, replace=False)
+                victims = [candidates[int(i)] for i in chosen]
+            else:
+                victims = []
+        else:
+            draws = rng.random(len(candidates))
+            victims = [
+                label
+                for label, draw in zip(candidates, draws)
+                if draw < self.failure_level
+            ]
+        for label in victims:
+            graph.fail_node(label)
+            self._failed.append(label)
+        return {
+            "model": "node-failure",
+            "mode": self.mode,
+            "failure_level": self.failure_level,
+            "failed_nodes": len(self._failed),
+            "alive_nodes": graph.alive_count(),
+        }
+
+    def repair(self, graph: OverlayGraph) -> None:
+        for label in self._failed:
+            if graph.has_node(label):
+                graph.revive_node(label)
+        self._failed.clear()
+
+    @property
+    def failed_labels(self) -> list[int]:
+        """Labels failed by the most recent :meth:`apply` call."""
+        return list(self._failed)
+
+
+@dataclass
+class TargetedNodeFailureModel(FailureModel):
+    """Fail a specific, caller-chosen set of nodes.
+
+    Useful for adversarial "carefully chosen node failures" (the paper notes
+    that the deterministic strategy can be trapped by such failures in
+    Section 4.3.4.2) and for regression tests that need a precise topology.
+    """
+
+    victims: tuple[int, ...]
+    _failed: list[int] = field(default_factory=list, repr=False)
+
+    def apply(self, graph: OverlayGraph) -> dict:
+        self._failed.clear()
+        for label in self.victims:
+            if graph.has_node(label) and graph.is_alive(label):
+                graph.fail_node(label)
+                self._failed.append(label)
+        return {
+            "model": "targeted-node-failure",
+            "failed_nodes": len(self._failed),
+            "alive_nodes": graph.alive_count(),
+        }
+
+    def repair(self, graph: OverlayGraph) -> None:
+        for label in self._failed:
+            if graph.has_node(label):
+                graph.revive_node(label)
+        self._failed.clear()
+
+
+class ByzantineBehavior:
+    """How a Byzantine node misbehaves during routing.
+
+    ``DROP``     — silently discard every message it receives.
+    ``MISROUTE`` — forward the message to its neighbour *farthest* from the
+                   target instead of the closest.
+    ``RANDOM``   — forward the message to a uniformly random neighbour.
+    """
+
+    DROP = "drop"
+    MISROUTE = "misroute"
+    RANDOM = "random"
+
+    ALL = (DROP, MISROUTE, RANDOM)
+
+
+@dataclass
+class ByzantineModel(FailureModel):
+    """Mark a fraction of nodes as Byzantine (paper Section 7, future work).
+
+    Byzantine nodes stay alive (so ordinary failure detection does not help)
+    but misbehave according to ``behavior``.  The model only *marks* nodes;
+    the misbehaviour itself is interpreted by
+    :class:`repro.core.byzantine.ByzantineAwareRouter`, which consults
+    :attr:`compromised` when simulating each hop.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of live nodes to compromise.
+    behavior:
+        One of :class:`ByzantineBehavior`'s constants.
+    protect:
+        Labels that must never be compromised.
+    seed:
+        Seed controlling which nodes are compromised.
+    """
+
+    fraction: float
+    behavior: str = ByzantineBehavior.DROP
+    protect: frozenset[int] = frozenset()
+    seed: int = 0
+    compromised: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.fraction, "fraction")
+        if self.behavior not in ByzantineBehavior.ALL:
+            raise ValueError(
+                f"behavior must be one of {ByzantineBehavior.ALL}, got {self.behavior!r}"
+            )
+        self.protect = frozenset(self.protect)
+
+    def apply(self, graph: OverlayGraph) -> dict:
+        rng = spawn_rng(self.seed, "byzantine")
+        self.compromised.clear()
+        candidates = [
+            label for label in graph.labels(only_alive=True) if label not in self.protect
+        ]
+        count = int(round(self.fraction * len(candidates)))
+        count = min(count, len(candidates))
+        if count > 0:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            self.compromised.update(candidates[int(i)] for i in chosen)
+        return {
+            "model": "byzantine",
+            "behavior": self.behavior,
+            "compromised_nodes": len(self.compromised),
+        }
+
+    def repair(self, graph: OverlayGraph) -> None:
+        self.compromised.clear()
+
+    def is_compromised(self, label: int) -> bool:
+        """Return ``True`` when the node at ``label`` is Byzantine."""
+        return label in self.compromised
+
+
+def failure_sweep_levels(maximum: float = 0.8, step: float = 0.1) -> list[float]:
+    """Return the standard failure-level sweep used by the paper's Figure 6.
+
+    The paper sweeps the fraction of failed nodes from 0 to 0.8 in steps of
+    0.1 (Figure 7 extends to 0.9).  Floating-point rounding is cleaned up so
+    the values are exact multiples of ``step``.
+    """
+    count = int(round(maximum / step))
+    return [round(i * step, 10) for i in range(count + 1)]

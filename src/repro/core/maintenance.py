@@ -1,0 +1,201 @@
+"""Self-maintenance: detecting and repairing damage to the overlay.
+
+The paper argues (Section 2) that random graphs are attractive partly because
+"most random structures require less work to maintain their much weaker
+invariants", and that the repair mechanism's traffic can be amortised over
+searches.  This module provides that repair mechanism:
+
+* :class:`MaintenanceDaemon` scans a node's neighbourhood, drops links that
+  point at dead nodes, regenerates replacements through the Section-5
+  heuristic, and re-stitches the ring of immediate neighbours around departed
+  nodes.
+* :class:`MaintenanceReport` summarises what a repair pass did, so that
+  experiments can report repair traffic alongside search traffic.
+
+The daemon operates on a :class:`~repro.core.construction.HeuristicConstruction`
+(that object owns the link-replacement policy and the sorted ring); a thin
+wrapper is provided for statically built graphs as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.construction import HeuristicConstruction
+from repro.core.graph import OverlayGraph
+
+__all__ = ["MaintenanceReport", "MaintenanceDaemon", "prune_dead_links"]
+
+
+@dataclass
+class MaintenanceReport:
+    """Summary of a repair pass.
+
+    Attributes
+    ----------
+    dead_links_dropped:
+        Long links removed because their target node was dead or missing.
+    links_regenerated:
+        Replacement long links created via the construction heuristic.
+    ring_repairs:
+        Immediate-neighbour pointers re-stitched around departed nodes.
+    messages:
+        Estimated message cost of the pass (one message per dropped link probe
+        plus one search per regenerated link, using the regenerating node's
+        hop count when available).
+    """
+
+    dead_links_dropped: int = 0
+    links_regenerated: int = 0
+    ring_repairs: int = 0
+    messages: int = 0
+
+    def merge(self, other: "MaintenanceReport") -> "MaintenanceReport":
+        """Return a new report summing this one with ``other``."""
+        return MaintenanceReport(
+            dead_links_dropped=self.dead_links_dropped + other.dead_links_dropped,
+            links_regenerated=self.links_regenerated + other.links_regenerated,
+            ring_repairs=self.ring_repairs + other.ring_repairs,
+            messages=self.messages + other.messages,
+        )
+
+
+def prune_dead_links(graph: OverlayGraph) -> int:
+    """Remove every long link whose target node is dead or missing.
+
+    Returns the number of links removed.  This is the "detect" half of
+    maintenance and can be used on statically built graphs that have no
+    construction heuristic attached.
+    """
+    removed = 0
+    for node in graph.nodes():
+        surviving = []
+        for link in node.long_links:
+            if graph.is_alive(link.target):
+                surviving.append(link)
+            else:
+                removed += 1
+        node.long_links = surviving
+    return removed
+
+
+@dataclass
+class MaintenanceDaemon:
+    """Periodic repair of a heuristically constructed network.
+
+    Parameters
+    ----------
+    construction:
+        The construction object owning the graph, ring ordering, and
+        link-replacement policy.
+    regenerate:
+        Whether dropped links should be replaced with fresh ones drawn from
+        the ideal distribution (``True``, the paper's suggestion) or simply
+        removed (``False``).
+    """
+
+    construction: HeuristicConstruction
+    regenerate: bool = True
+    _last_report: MaintenanceReport = field(default_factory=MaintenanceReport, repr=False)
+
+    @property
+    def graph(self) -> OverlayGraph:
+        """The graph being maintained."""
+        return self.construction.graph
+
+    def repair_node(self, label: int) -> MaintenanceReport:
+        """Repair the outgoing links of a single live node."""
+        report = MaintenanceReport()
+        graph = self.graph
+        if not graph.is_alive(label):
+            return report
+        node = graph.node(label)
+        surviving = []
+        for link in node.long_links:
+            if graph.is_alive(link.target):
+                surviving.append(link)
+            else:
+                report.dead_links_dropped += 1
+                report.messages += 1
+        node.long_links = surviving
+        if self.regenerate:
+            for _ in range(report.dead_links_dropped):
+                new_target = self.construction.regenerate_link(label)
+                if new_target is not None:
+                    report.links_regenerated += 1
+                    report.messages += 1
+        return report
+
+    def repair_all(self) -> MaintenanceReport:
+        """Repair every live node and re-stitch the ring; return the summed report."""
+        report = MaintenanceReport()
+        for label in list(self.graph.labels(only_alive=True)):
+            report = report.merge(self.repair_node(label))
+        report.ring_repairs += self._restitch_ring()
+        self._last_report = report
+        return report
+
+    def handle_departure(self, label: int) -> MaintenanceReport:
+        """Process an explicit (graceful or detected) departure of ``label``.
+
+        The departed node is removed from the construction; every node that
+        lost a link to it regenerates a replacement.
+        """
+        report = MaintenanceReport()
+        affected = self.construction.remove_point(label)
+        report.ring_repairs += 1
+        for holder in affected:
+            if not self.graph.is_alive(holder):
+                continue
+            dropped = self._drop_links_to(holder, label)
+            report.dead_links_dropped += dropped
+            report.messages += dropped
+            if self.regenerate:
+                for _ in range(max(1, dropped)):
+                    new_target = self.construction.regenerate_link(holder)
+                    if new_target is not None:
+                        report.links_regenerated += 1
+                        report.messages += 1
+        self._last_report = report
+        return report
+
+    @property
+    def last_report(self) -> MaintenanceReport:
+        """The report produced by the most recent repair call."""
+        return self._last_report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _drop_links_to(self, holder: int, departed: int) -> int:
+        """Remove ``holder``'s long links pointing at ``departed``; return the count."""
+        node = self.graph.node(holder)
+        before = len(node.long_links)
+        node.long_links = [link for link in node.long_links if link.target != departed]
+        return before - len(node.long_links)
+
+    def _restitch_ring(self) -> int:
+        """Re-wire immediate neighbours so that live nodes form a clean ring.
+
+        Returns the number of pointer updates made.  Dead nodes are skipped
+        over: each live node's ``left``/``right`` is set to the nearest live
+        node in the corresponding direction.
+        """
+        live = sorted(self.graph.labels(only_alive=True))
+        updates = 0
+        count = len(live)
+        if count == 0:
+            return 0
+        for index, label in enumerate(live):
+            node = self.graph.node(label)
+            if count == 1:
+                new_left, new_right = None, None
+            else:
+                new_left = live[(index - 1) % count]
+                new_right = live[(index + 1) % count]
+            if node.left != new_left or node.right != new_right:
+                node.left = new_left
+                node.right = new_right
+                updates += 1
+        return updates

@@ -1,0 +1,260 @@
+"""Metric spaces into which resources and nodes are embedded.
+
+The paper (Section 2) models a peer-to-peer system as a random graph embedded
+in a metric space ``(V, d)``: resources are hashed to points of ``V`` and
+greedy routing forwards a message to the neighbour whose point is closest to
+the target under ``d``.  Almost all of the paper's analysis takes place on a
+one-dimensional space — the integer **line** (Section 4) or, equivalently for
+the experiments, a **ring** of ``n`` grid points.  Section 7 raises
+higher-dimensional spaces as future work; we provide a d-dimensional torus so
+that the Kleinberg-style baselines and the extension experiments have a home.
+
+Every metric space in this module is a space of *integer grid points* (the
+paper embeds nodes at grid points), identified by either a single integer
+(line, ring) or a tuple of integers (torus).  The classes are deliberately
+small: they expose distance, the directed offset used by one-sided routing,
+and uniform sampling of points.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.validation import ensure_positive
+
+__all__ = [
+    "MetricSpace",
+    "LineMetric",
+    "RingMetric",
+    "TorusMetric",
+]
+
+Point = int | tuple[int, ...]
+
+
+class MetricSpace(abc.ABC):
+    """Abstract base class for the metric spaces used by the overlay.
+
+    Subclasses must define :meth:`distance`, :meth:`size`, :meth:`contains`,
+    and :meth:`all_points`.  The default implementations of
+    :meth:`closest` and :meth:`is_closer` are expressed in terms of
+    :meth:`distance` and apply to any subclass.
+    """
+
+    @abc.abstractmethod
+    def distance(self, a: Point, b: Point) -> int:
+        """Return the metric distance ``d(a, b)`` between two points."""
+
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Return the total number of grid points in the space."""
+
+    @abc.abstractmethod
+    def contains(self, point: Point) -> bool:
+        """Return ``True`` when ``point`` is a valid grid point of the space."""
+
+    @abc.abstractmethod
+    def all_points(self) -> Iterable[Point]:
+        """Iterate over every grid point of the space (for small spaces only)."""
+
+    # ------------------------------------------------------------------ #
+    # Generic helpers expressed in terms of ``distance``.
+    # ------------------------------------------------------------------ #
+
+    def closest(self, target: Point, candidates: Sequence[Point]) -> Point:
+        """Return the candidate point closest to ``target``.
+
+        Ties are broken in favour of the earliest candidate, which makes the
+        greedy router deterministic given its neighbour ordering.
+
+        Raises
+        ------
+        ValueError
+            If ``candidates`` is empty.
+        """
+        if not candidates:
+            raise ValueError("closest() requires at least one candidate point")
+        best = candidates[0]
+        best_distance = self.distance(best, target)
+        for candidate in candidates[1:]:
+            candidate_distance = self.distance(candidate, target)
+            if candidate_distance < best_distance:
+                best = candidate
+                best_distance = candidate_distance
+        return best
+
+    def is_closer(self, a: Point, b: Point, target: Point) -> bool:
+        """Return ``True`` when ``a`` is strictly closer to ``target`` than ``b``."""
+        return self.distance(a, target) < self.distance(b, target)
+
+    # One-dimensional spaces additionally expose a *signed* displacement used
+    # by one-sided routing ("never jump past the target").  Spaces for which
+    # the notion does not apply raise ``NotImplementedError``.
+
+    def displacement(self, source: Point, target: Point) -> int:
+        """Return a signed displacement from ``source`` towards ``target``.
+
+        Only meaningful for one-dimensional spaces; the sign indicates the
+        direction of travel and the magnitude equals :meth:`distance`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a signed displacement"
+        )
+
+
+@dataclass(frozen=True)
+class LineMetric(MetricSpace):
+    """The one-dimensional line of grid points ``{0, 1, ..., n - 1}``.
+
+    This is the space used throughout Section 4 of the paper: nodes sit at
+    integer grid points and the distance between two points is the absolute
+    difference of their labels.  The line has boundaries, which is what makes
+    one-sided routing (never overshoot the target) the natural model when the
+    target sits at an endpoint.
+
+    Parameters
+    ----------
+    n:
+        Number of grid points.  Points are labelled ``0 .. n - 1``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.n, "n")
+
+    def distance(self, a: int, b: int) -> int:
+        """Absolute difference ``|a - b|``."""
+        return abs(int(a) - int(b))
+
+    def displacement(self, source: int, target: int) -> int:
+        """Signed difference ``target - source``."""
+        return int(target) - int(source)
+
+    def size(self) -> int:
+        return self.n
+
+    def contains(self, point: int) -> bool:
+        return isinstance(point, (int,)) and 0 <= point < self.n
+
+    def all_points(self) -> Iterable[int]:
+        return range(self.n)
+
+
+@dataclass(frozen=True)
+class RingMetric(MetricSpace):
+    """A ring (circle) of ``n`` grid points with wrap-around distance.
+
+    The paper's experiments (Section 6) and systems such as Chord place
+    identifiers on a modulo-``n`` circle; distance is measured along the
+    circumference in whichever direction is shorter.  The ring removes the
+    boundary effects of the line and is the default space for the library's
+    experiments.
+
+    Parameters
+    ----------
+    n:
+        Number of grid points.  Points are labelled ``0 .. n - 1``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.n, "n")
+
+    def distance(self, a: int, b: int) -> int:
+        """Shorter arc distance between ``a`` and ``b`` on the ring."""
+        diff = abs(int(a) - int(b)) % self.n
+        return min(diff, self.n - diff)
+
+    def displacement(self, source: int, target: int) -> int:
+        """Signed shorter-arc displacement from ``source`` to ``target``.
+
+        Positive values mean clockwise travel (increasing labels).  When the
+        two arcs are equal in length the positive direction is returned.
+        """
+        forward = (int(target) - int(source)) % self.n
+        backward = forward - self.n
+        return forward if forward <= -backward else backward
+
+    def clockwise_distance(self, a: int, b: int) -> int:
+        """Distance from ``a`` to ``b`` travelling only clockwise.
+
+        This is the one-sided notion of distance used by Chord-style routing,
+        where every link points in a single direction around the ring.
+        """
+        return (int(b) - int(a)) % self.n
+
+    def size(self) -> int:
+        return self.n
+
+    def contains(self, point: int) -> bool:
+        return isinstance(point, (int,)) and 0 <= point < self.n
+
+    def all_points(self) -> Iterable[int]:
+        return range(self.n)
+
+
+@dataclass(frozen=True)
+class TorusMetric(MetricSpace):
+    """A ``d``-dimensional torus of side length ``side`` with L1 (Manhattan) distance.
+
+    Used by the CAN and Kleinberg-grid baselines and by the higher-dimensional
+    extension experiments.  Points are ``d``-tuples of integers in
+    ``[0, side)`` and each coordinate wraps around.
+
+    Parameters
+    ----------
+    side:
+        Side length of the torus in every dimension.
+    dimensions:
+        Number of dimensions ``d`` (the paper's baselines use ``d = 2``).
+    """
+
+    side: int
+    dimensions: int = 2
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.side, "side")
+        ensure_positive(self.dimensions, "dimensions")
+
+    def distance(self, a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        """Sum over coordinates of the wrap-around distance in that coordinate."""
+        if len(a) != self.dimensions or len(b) != self.dimensions:
+            raise ValueError(
+                f"points must have {self.dimensions} coordinates, "
+                f"got {len(a)} and {len(b)}"
+            )
+        total = 0
+        for coordinate_a, coordinate_b in zip(a, b):
+            diff = abs(int(coordinate_a) - int(coordinate_b)) % self.side
+            total += min(diff, self.side - diff)
+        return total
+
+    def size(self) -> int:
+        return self.side**self.dimensions
+
+    def contains(self, point: tuple[int, ...]) -> bool:
+        if not isinstance(point, tuple) or len(point) != self.dimensions:
+            return False
+        return all(isinstance(c, int) and 0 <= c < self.side for c in point)
+
+    def all_points(self) -> Iterable[tuple[int, ...]]:
+        def generate(prefix: tuple[int, ...], remaining: int):
+            if remaining == 0:
+                yield prefix
+                return
+            for coordinate in range(self.side):
+                yield from generate(prefix + (coordinate,), remaining - 1)
+
+        return generate((), self.dimensions)
+
+    def wrap(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Wrap an arbitrary integer vector onto the torus."""
+        if len(point) != self.dimensions:
+            raise ValueError(
+                f"point must have {self.dimensions} coordinates, got {len(point)}"
+            )
+        return tuple(int(c) % self.side for c in point)

@@ -1,0 +1,368 @@
+"""High-level facade: a complete peer-to-peer resource-location network.
+
+:class:`P2PNetwork` ties the pieces of the core library together into the
+system the paper describes end to end:
+
+* a metric space (ring) and a key hash embedding resources into it,
+* an overlay graph maintained by the Section-5 construction heuristic as
+  nodes join and leave,
+* greedy routing with a configurable failure-recovery strategy for resource
+  location, and
+* a maintenance daemon that repairs the overlay after crashes.
+
+The facade exposes the operations a downstream application needs —
+``join``, ``leave``, ``crash``, ``publish``, ``lookup`` — and keeps simple
+traffic counters so that applications can observe the message complexity the
+paper analyses.  The richer storage semantics (replication, explicit
+key-value payload transfer) live in :mod:`repro.dht`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.construction import (
+    HeuristicConstruction,
+    InverseDistanceReplacement,
+    LinkReplacementPolicy,
+)
+from repro.core.identifiers import KeyHasher, Resource, ResourceEmbedding, Sha256Hasher
+from repro.core.maintenance import MaintenanceDaemon
+from repro.core.metric import RingMetric
+from repro.core.routing import (
+    GreedyRouter,
+    RecoveryStrategy,
+    RouteResult,
+    RoutingMode,
+)
+from repro.util.rng import RandomSource
+from repro.util.validation import ensure_positive
+
+__all__ = ["LookupOutcome", "NetworkStatistics", "P2PNetwork"]
+
+
+@dataclass
+class LookupOutcome:
+    """Result of a resource lookup through the network facade.
+
+    Attributes
+    ----------
+    key:
+        The key that was looked up.
+    point:
+        The metric-space point the key hashes to.
+    found:
+        Whether routing reached the node responsible for the point and that
+        node holds the key.
+    responsible:
+        Label of the node that answered (or ``None`` when routing failed).
+    route:
+        The underlying :class:`~repro.core.routing.RouteResult`.
+    value:
+        The stored payload, when found.
+    """
+
+    key: str
+    point: int
+    found: bool
+    responsible: int | None
+    route: RouteResult
+    value: Any = None
+
+
+@dataclass
+class NetworkStatistics:
+    """Running traffic counters for a :class:`P2PNetwork`."""
+
+    lookups: int = 0
+    successful_lookups: int = 0
+    publishes: int = 0
+    joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+    routing_messages: int = 0
+    maintenance_messages: int = 0
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "lookups": self.lookups,
+            "successful_lookups": self.successful_lookups,
+            "publishes": self.publishes,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "crashes": self.crashes,
+            "routing_messages": self.routing_messages,
+            "maintenance_messages": self.maintenance_messages,
+        }
+
+
+class P2PNetwork:
+    """A complete peer-to-peer lookup network over a ring identifier space.
+
+    Parameters
+    ----------
+    space_size:
+        Number of grid points of the identifier ring.  Node addresses and key
+        hashes both live in ``[0, space_size)``.
+    links_per_node:
+        Number of long-distance links per node (defaults to ``ceil(lg
+        space_size)``, the paper's choice).
+    recovery:
+        Failure-recovery strategy for lookups (default: backtracking, the
+        best-performing strategy in the paper's experiments).
+    replacement_policy:
+        Link-replacement rule used by the construction heuristic.
+    hasher:
+        Key hasher; defaults to SHA-256.
+    seed:
+        Base seed for all randomness.
+
+    Examples
+    --------
+    >>> network = P2PNetwork(space_size=1024, seed=1)
+    >>> for address in range(0, 1024, 16):
+    ...     network.join(address)
+    >>> network.publish("alice.txt", value=b"hello", owner=0)
+    0
+    >>> outcome = network.lookup("alice.txt", origin=512)
+    >>> outcome.found
+    True
+    """
+
+    def __init__(
+        self,
+        space_size: int,
+        links_per_node: int | None = None,
+        recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
+        replacement_policy: LinkReplacementPolicy | None = None,
+        hasher: KeyHasher | None = None,
+        routing_mode: RoutingMode = RoutingMode.TWO_SIDED,
+        strict_best_neighbor: bool = False,
+        seed: int = 0,
+    ) -> None:
+        ensure_positive(space_size, "space_size")
+        self.space = RingMetric(space_size)
+        if links_per_node is None:
+            links_per_node = max(1, int(np.ceil(np.log2(max(2, space_size)))))
+        self.links_per_node = links_per_node
+        self.recovery = recovery
+        self.routing_mode = routing_mode
+        self.strict_best_neighbor = strict_best_neighbor
+        self.seed = seed
+        self._random = RandomSource(seed=seed)
+
+        self.construction = HeuristicConstruction(
+            space=self.space,
+            links_per_node=links_per_node,
+            replacement_policy=replacement_policy or InverseDistanceReplacement(),
+            seed=seed,
+        )
+        self.maintenance = MaintenanceDaemon(self.construction)
+        self.hasher = hasher or Sha256Hasher(space_size)
+        self.embedding = ResourceEmbedding(space=self.space, hasher=self.hasher)
+        self.statistics = NetworkStatistics()
+
+        # key -> (value, point) store at the responsible node; keyed by node label.
+        self._stored: dict[int, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self):
+        """The underlying overlay graph."""
+        return self.construction.graph
+
+    def members(self) -> list[int]:
+        """Return the labels of all live member nodes."""
+        return self.graph.labels(only_alive=True)
+
+    def join(self, address: int) -> None:
+        """Add a node at ``address`` to the network.
+
+        Raises
+        ------
+        ValueError
+            If the address is outside the identifier space or already taken.
+        """
+        if not self.space.contains(address):
+            raise ValueError(
+                f"address {address} is outside the identifier space "
+                f"[0, {self.space.size()})"
+            )
+        self.construction.add_point(address)
+        self._stored.setdefault(address, {})
+        self.statistics.joins += 1
+        self._rebalance_keys_to(address)
+
+    def join_many(self, addresses: list[int]) -> None:
+        """Add several nodes in the given order."""
+        for address in addresses:
+            self.join(address)
+
+    def leave(self, address: int) -> None:
+        """Gracefully remove a node: its keys are handed to its successor."""
+        if not self.graph.has_node(address):
+            raise ValueError(f"no node at address {address}")
+        keys = self._stored.pop(address, {})
+        report = self.maintenance.handle_departure(address)
+        self.statistics.leaves += 1
+        self.statistics.maintenance_messages += report.messages
+        successor = self.graph.closest_live_vertex(address)
+        if successor is not None and keys:
+            self._stored.setdefault(successor, {}).update(keys)
+
+    def crash(self, address: int) -> None:
+        """Abruptly fail a node: its keys are lost until maintenance runs."""
+        if not self.graph.has_node(address):
+            raise ValueError(f"no node at address {address}")
+        self.graph.fail_node(address)
+        self.statistics.crashes += 1
+
+    def repair(self) -> None:
+        """Run a maintenance pass over the whole network.
+
+        Crashed nodes are excised from the construction, their former
+        neighbours regenerate links, and stored keys whose responsible node
+        died are re-homed at the new responsible node when any replica of the
+        key is still reachable (the facade keeps none, so crashed keys are
+        simply dropped — the DHT layer adds replication).
+        """
+        crashed = [
+            node.label for node in self.graph.nodes() if not node.alive
+        ]
+        for label in crashed:
+            self._stored.pop(label, None)
+            report = self.maintenance.handle_departure(label)
+            self.statistics.maintenance_messages += report.messages
+        report = self.maintenance.repair_all()
+        self.statistics.maintenance_messages += report.messages
+
+    # ------------------------------------------------------------------ #
+    # Resource operations
+    # ------------------------------------------------------------------ #
+
+    def responsible_node(self, point: int) -> int | None:
+        """Return the live node responsible for ``point`` (the closest one)."""
+        return self.graph.closest_live_vertex(point)
+
+    def publish(self, key: str, value: Any = None, owner: int | None = None) -> int | None:
+        """Publish a resource: route it to the responsible node and store it there.
+
+        Parameters
+        ----------
+        key:
+            Resource key.
+        value:
+            Payload stored at the responsible node.
+        owner:
+            Address of the publishing node; used as the routing origin.  When
+            omitted, a random live member is used.
+
+        Returns
+        -------
+        int or None
+            The label of the node now storing the key, or ``None`` when the
+            publish could not be routed.
+        """
+        members = self.members()
+        if not members:
+            raise RuntimeError("cannot publish into an empty network")
+        origin = owner if owner is not None and self.graph.is_alive(owner) else None
+        if origin is None:
+            index = int(self._random.stream("publish-origin").integers(0, len(members)))
+            origin = members[index]
+
+        resource = Resource(key=key, owner=origin, payload=value)
+        point = self.embedding.embed(resource)
+        responsible = self.responsible_node(point)
+        if responsible is None:
+            return None
+
+        route = self._route(origin, responsible)
+        self.statistics.publishes += 1
+        self.statistics.routing_messages += route.hops
+        if not route.success:
+            return None
+        self._stored.setdefault(responsible, {})[key] = value
+        return responsible
+
+    def lookup(self, key: str, origin: int | None = None) -> LookupOutcome:
+        """Locate the resource with ``key`` starting from ``origin``.
+
+        The lookup routes greedily towards the point the key hashes to and
+        succeeds when it reaches the responsible live node and that node holds
+        the key.
+        """
+        members = self.members()
+        if not members:
+            raise RuntimeError("cannot look up in an empty network")
+        if origin is None or not self.graph.is_alive(origin):
+            index = int(self._random.stream("lookup-origin").integers(0, len(members)))
+            origin = members[index]
+
+        point = self.embedding.point_of(key)
+        responsible = self.responsible_node(point)
+        self.statistics.lookups += 1
+        if responsible is None:
+            empty = RouteResult(success=False, hops=0, path=[origin])
+            return LookupOutcome(
+                key=key, point=point, found=False, responsible=None, route=empty
+            )
+
+        route = self._route(origin, responsible)
+        self.statistics.routing_messages += route.hops
+        stored = self._stored.get(responsible, {})
+        found = route.success and key in stored
+        if found:
+            self.statistics.successful_lookups += 1
+        return LookupOutcome(
+            key=key,
+            point=point,
+            found=found,
+            responsible=responsible if route.success else None,
+            route=route,
+            value=stored.get(key) if found else None,
+        )
+
+    def stored_keys(self, address: int) -> frozenset[str]:
+        """Return the keys currently stored at the node with ``address``."""
+        return frozenset(self._stored.get(address, {}))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _route(self, source: int, target: int) -> RouteResult:
+        """Route between two member nodes using the configured strategy."""
+        router = GreedyRouter(
+            graph=self.graph,
+            mode=self.routing_mode,
+            recovery=self.recovery,
+            strict_best_neighbor=self.strict_best_neighbor,
+            seed=self._random.seed,
+        )
+        return router.route(source, target)
+
+    def _rebalance_keys_to(self, newcomer: int) -> None:
+        """Move keys whose point is now closest to ``newcomer`` onto it.
+
+        Run after a join so that responsibility follows the metric-space rule
+        "the responsible node is the live node closest to the key's point".
+        """
+        for holder in list(self._stored):
+            if holder == newcomer or not self.graph.is_alive(holder):
+                continue
+            stored_here = self._stored[holder]
+            moving = []
+            for key in stored_here:
+                point = self.embedding.point_of(key)
+                if self.space.distance(newcomer, point) < self.space.distance(holder, point):
+                    moving.append(key)
+            for key in moving:
+                self._stored.setdefault(newcomer, {})[key] = stored_here.pop(key)

@@ -1,0 +1,26 @@
+"""Distributed hash table built on the fault-tolerant routing layer.
+
+The paper motivates its overlay as providing "hash table-like functionality"
+(Section 1) but evaluates only the routing layer.  This package supplies the
+missing application layer:
+
+* :mod:`repro.dht.storage` — the per-node key-value store.
+* :mod:`repro.dht.replication` — successor-set replication so that keys
+  survive the node failures the routing layer is designed to tolerate.
+* :mod:`repro.dht.dht` — the :class:`~repro.dht.dht.DistributedHashTable`
+  facade with ``put`` / ``get`` / ``delete`` and failure handling.
+"""
+
+from repro.dht.dht import DhtConfig, DhtOperationResult, DistributedHashTable
+from repro.dht.replication import ReplicationPolicy, SuccessorReplication
+from repro.dht.storage import NodeStorage, StoredItem
+
+__all__ = [
+    "DistributedHashTable",
+    "DhtConfig",
+    "DhtOperationResult",
+    "NodeStorage",
+    "StoredItem",
+    "ReplicationPolicy",
+    "SuccessorReplication",
+]

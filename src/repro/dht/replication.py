@@ -1,0 +1,64 @@
+"""Replication policies for the DHT layer.
+
+The routing layer tolerates failures, but a key stored at exactly one node is
+lost when that node crashes.  Replication stores every key at the responsible
+node *and* at a small set of additional nodes so that, after failures, some
+live node still holds the value and can be found by greedy routing (which
+naturally lands on the closest live node to the key's point).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.graph import OverlayGraph
+from repro.core.metric import MetricSpace
+
+__all__ = ["ReplicationPolicy", "SuccessorReplication"]
+
+
+class ReplicationPolicy(abc.ABC):
+    """Chooses where the replicas of a key should live."""
+
+    @abc.abstractmethod
+    def replica_holders(
+        self, graph: OverlayGraph, space: MetricSpace, point: int, primary: int
+    ) -> list[int]:
+        """Return the labels of the nodes that should hold replicas.
+
+        The primary (responsible) node is not included in the returned list.
+        """
+
+
+@dataclass
+class SuccessorReplication(ReplicationPolicy):
+    """Replicate at the ``degree`` live nodes closest to the key's point.
+
+    This mirrors Chord's successor-list replication: the replicas are exactly
+    the nodes that will become responsible if the primary fails, so a lookup
+    that greedily lands on the closest live node finds a copy without any
+    extra machinery.
+
+    Parameters
+    ----------
+    degree:
+        Number of replicas in addition to the primary copy.
+    """
+
+    degree: int = 2
+
+    def __post_init__(self) -> None:
+        if self.degree < 0:
+            raise ValueError(f"degree must be non-negative, got {self.degree}")
+
+    def replica_holders(
+        self, graph: OverlayGraph, space: MetricSpace, point: int, primary: int
+    ) -> list[int]:
+        if self.degree == 0:
+            return []
+        live = [label for label in graph.labels(only_alive=True) if label != primary]
+        if not live:
+            return []
+        live.sort(key=lambda label: space.distance(label, point))
+        return live[: self.degree]

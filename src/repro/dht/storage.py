@@ -1,0 +1,98 @@
+"""Per-node key-value storage for the DHT layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["StoredItem", "NodeStorage"]
+
+
+@dataclass
+class StoredItem:
+    """One stored key-value pair.
+
+    Attributes
+    ----------
+    key:
+        The resource key.
+    value:
+        The stored payload.
+    point:
+        The metric-space point the key hashes to.
+    version:
+        Monotonically increasing per-key version; puts with an older version
+        are ignored so that delayed replication traffic cannot resurrect stale
+        data.
+    is_replica:
+        ``True`` when this copy is held for fault tolerance rather than
+        because this node is the key's responsible node.
+    """
+
+    key: str
+    value: Any
+    point: int
+    version: int = 0
+    is_replica: bool = False
+
+
+class NodeStorage:
+    """The key-value store kept by a single DHT node."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._items: dict[str, StoredItem] = {}
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        point: int,
+        version: int = 0,
+        is_replica: bool = False,
+    ) -> bool:
+        """Store ``key`` unless a strictly newer version is already present.
+
+        Returns ``True`` when the write was applied.
+        """
+        existing = self._items.get(key)
+        if existing is not None and existing.version > version:
+            return False
+        self._items[key] = StoredItem(
+            key=key, value=value, point=point, version=version, is_replica=is_replica
+        )
+        return True
+
+    def get(self, key: str) -> StoredItem | None:
+        """Return the stored item for ``key``, or ``None``."""
+        return self._items.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return whether it was present."""
+        return self._items.pop(key, None) is not None
+
+    def keys(self) -> list[str]:
+        """All stored keys (primary and replica)."""
+        return list(self._items)
+
+    def primary_items(self) -> Iterator[StoredItem]:
+        """Iterate over items for which this node is the responsible node."""
+        return (item for item in self._items.values() if not item.is_replica)
+
+    def replica_items(self) -> Iterator[StoredItem]:
+        """Iterate over items held only as replicas."""
+        return (item for item in self._items.values() if item.is_replica)
+
+    def promote_to_primary(self, key: str) -> bool:
+        """Mark a replica as primary (after the original responsible node died)."""
+        item = self._items.get(key)
+        if item is None:
+            return False
+        item.is_replica = False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items

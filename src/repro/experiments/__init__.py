@@ -1,0 +1,51 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module corresponds to one experiment of the evaluation:
+
+* :mod:`repro.experiments.figure5` — link-length distribution of the
+  construction heuristic vs the ideal inverse power law (Figure 5a/5b).
+* :mod:`repro.experiments.figure6` — failed searches and delivery time under
+  node failures, for the three recovery strategies (Figure 6a/6b).
+* :mod:`repro.experiments.figure7` — heuristically constructed vs ideal
+  network under node failures (Figure 7).
+* :mod:`repro.experiments.table1` — delivery-time scaling for every row of
+  Table 1, compared against the theoretical bound shapes.
+* :mod:`repro.experiments.ablations` — link-replacement strategy, backtrack
+  depth, power-law exponent, and Byzantine-routing ablations.
+* :mod:`repro.experiments.baseline_comparison` — hop counts and failure
+  resilience of Chord / Kleinberg / CAN / Plaxton vs this paper's overlay.
+
+Every experiment returns plain dataclasses/dicts and can print a text table,
+so the benchmark harness and the examples reuse the same entry points.
+"""
+
+from repro.experiments.ablations import (
+    run_backtrack_depth_ablation,
+    run_byzantine_experiment,
+    run_exponent_ablation,
+    run_replacement_ablation,
+)
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.runner import ExperimentTable, format_table
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "run_figure5",
+    "Figure5Result",
+    "run_figure6",
+    "Figure6Result",
+    "run_figure7",
+    "Figure7Result",
+    "run_table1",
+    "Table1Result",
+    "run_replacement_ablation",
+    "run_backtrack_depth_ablation",
+    "run_exponent_ablation",
+    "run_byzantine_experiment",
+    "run_baseline_comparison",
+    "ExperimentTable",
+    "format_table",
+]

@@ -1,0 +1,135 @@
+"""Comparison of the paper's overlay against Chord, Kleinberg, CAN, and Plaxton.
+
+Section 3 of the paper argues that the existing structured systems are
+instances of one metric-space framework and should therefore behave
+similarly; this experiment quantifies that claim by running the same
+uniformly random lookup workload over each system (at matched network size)
+with and without node failures and reporting mean hop counts and failed-search
+fractions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.can import CanNetwork
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.kleinberg_grid import KleinbergGridNetwork
+from repro.baselines.plaxton import PlaxtonNetwork
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.experiments.runner import ExperimentTable
+from repro.simulation.workload import LookupWorkload
+
+__all__ = ["run_baseline_comparison"]
+
+
+def _measure(route_function, labels, searches, seed) -> tuple[float, float]:
+    """Run ``searches`` random lookups; return (mean hops, failed fraction)."""
+    pairs = LookupWorkload(seed=seed).pairs(labels, searches)
+    hops: list[int] = []
+    failures = 0
+    for source, target in pairs:
+        result = route_function(source, target)
+        if result.success:
+            hops.append(result.hops)
+        else:
+            failures += 1
+    return (float(np.mean(hops)) if hops else 0.0), failures / len(pairs)
+
+
+def run_baseline_comparison(
+    bits: int = 10,
+    searches: int = 200,
+    failure_level: float = 0.3,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Compare all systems at ``n = 2^bits`` nodes (grids use the nearest square).
+
+    Each system is measured twice: on the intact network and after failing
+    ``failure_level`` of its nodes uniformly at random (without running any
+    repair protocol, as in the paper's experiments).
+    """
+    n = 1 << bits
+    side = int(round(math.sqrt(n)))
+    table = ExperimentTable(
+        title=f"Baseline comparison at n = {n} nodes ({failure_level:.0%} failures in second pass)",
+        columns=[
+            "system",
+            "nodes",
+            "state_per_node",
+            "mean_hops",
+            "failed_fraction",
+            "mean_hops_after_failures",
+            "failed_fraction_after_failures",
+        ],
+    )
+
+    # This paper's overlay (inverse power-law, lg n links, backtracking).
+    build = build_ideal_network(n, seed=seed)
+    graph = build.graph
+    router = GreedyRouter(graph=graph, recovery=RecoveryStrategy.BACKTRACK, seed=seed)
+    labels = graph.labels(only_alive=True)
+    healthy = _measure(router.route, labels, searches, seed + 1)
+    failure_model = NodeFailureModel(failure_level, seed=seed + 2)
+    failure_model.apply(graph)
+    failed = _measure(
+        router.route, graph.labels(only_alive=True), searches, seed + 3
+    )
+    failure_model.repair(graph)
+    table.add_row(
+        "this-paper (power-law + backtrack)",
+        n,
+        build.links_per_node + 2,
+        healthy[0], healthy[1], failed[0], failed[1],
+    )
+
+    # Chord.
+    chord = ChordNetwork(bits=bits)
+    healthy = _measure(chord.route, chord.labels(), searches, seed + 11)
+    chord.fail_fraction(failure_level, seed=seed + 12)
+    failed = _measure(chord.route, chord.labels(), searches, seed + 13)
+    chord.repair()
+    table.add_row(
+        "chord", len(chord.members), round(chord.average_table_size(), 1),
+        healthy[0], healthy[1], failed[0], failed[1],
+    )
+
+    # Kleinberg grid (exponent 2, lg n long contacts to match state).
+    kleinberg = KleinbergGridNetwork(side=side, links_per_node=max(1, bits), seed=seed)
+    healthy = _measure(kleinberg.route, kleinberg.labels(), searches, seed + 21)
+    kleinberg.fail_fraction(failure_level, seed=seed + 22)
+    failed = _measure(kleinberg.route, kleinberg.labels(), searches, seed + 23)
+    kleinberg.repair()
+    table.add_row(
+        "kleinberg-grid (r=2)", kleinberg.size, 4 + max(1, bits),
+        healthy[0], healthy[1], failed[0], failed[1],
+    )
+
+    # CAN (2-dimensional).
+    can = CanNetwork(side=side, dimensions=2)
+    healthy = _measure(can.route, can.labels(), searches, seed + 31)
+    can.fail_fraction(failure_level, seed=seed + 32)
+    failed = _measure(can.route, can.labels(), searches, seed + 33)
+    can.repair()
+    table.add_row(
+        "can (d=2)", can.size, can.state_per_node(),
+        healthy[0], healthy[1], failed[0], failed[1],
+    )
+
+    # Plaxton / Tapestry-style prefix routing (base 4).
+    digits = max(1, int(round(bits / 2)))
+    plaxton = PlaxtonNetwork(digits=digits, base=4)
+    healthy = _measure(plaxton.route, plaxton.labels(), searches, seed + 41)
+    plaxton.fail_fraction(failure_level, seed=seed + 42)
+    failed = _measure(plaxton.route, plaxton.labels(), searches, seed + 43)
+    plaxton.repair()
+    table.add_row(
+        "plaxton (base 4)", plaxton.size, plaxton.state_per_node(),
+        healthy[0], healthy[1], failed[0], failed[1],
+    )
+
+    return table

@@ -1,0 +1,165 @@
+"""Command-line entry point for the experiment harness.
+
+Run any of the paper's experiments from a shell::
+
+    python -m repro.experiments.cli figure5 --nodes 4096 --networks 5
+    python -m repro.experiments.cli figure6 --nodes 8192 --searches 500
+    python -m repro.experiments.cli figure7
+    python -m repro.experiments.cli table1
+    python -m repro.experiments.cli ablations
+    python -m repro.experiments.cli baselines --bits 12
+    python -m repro.experiments.cli all
+
+Each command prints the regenerated series as aligned text tables (the same
+output the benchmarks produce) so results can be diffed or piped into other
+tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.ablations import (
+    run_backtrack_depth_ablation,
+    run_byzantine_experiment,
+    run_exponent_ablation,
+    run_replacement_ablation,
+)
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table1 import run_table1
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Aspnes, Diamadi & Shah (PODC 2002).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure5 = subparsers.add_parser("figure5", help="link-length distribution of the §5 heuristic")
+    figure5.add_argument("--nodes", type=int, default=1 << 12)
+    figure5.add_argument("--links", type=int, default=None)
+    figure5.add_argument("--networks", type=int, default=3)
+
+    figure6 = subparsers.add_parser("figure6", help="failed searches / delivery time vs node failures")
+    figure6.add_argument("--nodes", type=int, default=1 << 12)
+    figure6.add_argument("--searches", type=int, default=250)
+
+    figure7 = subparsers.add_parser("figure7", help="constructed vs ideal network under failures")
+    figure7.add_argument("--nodes", type=int, default=1 << 11)
+    figure7.add_argument("--searches", type=int, default=200)
+    figure7.add_argument("--iterations", type=int, default=2)
+
+    table1 = subparsers.add_parser("table1", help="measured delivery time vs Table-1 bound shapes")
+    table1.add_argument("--searches", type=int, default=150)
+
+    subparsers.add_parser("ablations", help="replacement-policy, backtrack-depth, exponent, Byzantine ablations")
+
+    baselines = subparsers.add_parser("baselines", help="Chord / Kleinberg / CAN / Plaxton comparison")
+    baselines.add_argument("--bits", type=int, default=10)
+    baselines.add_argument("--searches", type=int, default=200)
+
+    subparsers.add_parser("all", help="run every experiment at its default scale")
+    return parser
+
+
+def _run_figure5(args) -> None:
+    result = run_figure5(
+        nodes=args.nodes, links_per_node=args.links, networks=args.networks, seed=args.seed
+    )
+    print(result.to_table(max_rows=20).to_text())
+
+
+def _run_figure6(args) -> None:
+    result = run_figure6(nodes=args.nodes, searches_per_point=args.searches, seed=args.seed)
+    table_a, table_b = result.to_tables()
+    print(table_a.to_text())
+    print()
+    print(table_b.to_text())
+
+
+def _run_figure7(args) -> None:
+    result = run_figure7(
+        nodes=args.nodes,
+        searches_per_point=args.searches,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(result.to_table().to_text())
+
+
+def _run_table1(args) -> None:
+    result = run_table1(searches=args.searches, seed=args.seed)
+    print(result.to_text())
+
+
+def _run_ablations(args) -> None:
+    print(run_replacement_ablation(seed=args.seed).to_text())
+    print()
+    print(run_backtrack_depth_ablation(seed=args.seed).to_text())
+    print()
+    print(run_exponent_ablation(seed=args.seed).to_text())
+    print()
+    print(run_byzantine_experiment(seed=args.seed).to_text())
+
+
+def _run_baselines(args) -> None:
+    print(run_baseline_comparison(bits=args.bits, searches=args.searches, seed=args.seed).to_text())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "figure5":
+        _run_figure5(args)
+    elif args.command == "figure6":
+        _run_figure6(args)
+    elif args.command == "figure7":
+        _run_figure7(args)
+    elif args.command == "table1":
+        _run_table1(args)
+    elif args.command == "ablations":
+        _run_ablations(args)
+    elif args.command == "baselines":
+        _run_baselines(args)
+    elif args.command == "all":
+        defaults = build_parser()
+        for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines"):
+            print("=" * 78)
+            print(f"== {command}")
+            print("=" * 78)
+            sub_args = defaults.parse_args([command, "--seed", str(args.seed)]
+                                           if command not in ("ablations", "all")
+                                           else [command])
+            sub_args.seed = args.seed
+            main_dispatch(sub_args)
+            print()
+    return 0
+
+
+def main_dispatch(args) -> None:
+    """Dispatch a parsed namespace to its runner (used by the ``all`` command)."""
+    dispatch = {
+        "figure5": _run_figure5,
+        "figure6": _run_figure6,
+        "figure7": _run_figure7,
+        "table1": _run_table1,
+        "ablations": _run_ablations,
+        "baselines": _run_baselines,
+    }
+    dispatch[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

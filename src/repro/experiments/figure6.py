@@ -1,0 +1,135 @@
+"""Figure 6: routing under node failures with three recovery strategies.
+
+The paper simulates 2^17 nodes with 17 long links each, fails a fraction ``p``
+of the nodes (``p`` from 0 to 0.8), and repeatedly routes between random live
+source/destination pairs.  Figure 6(a) plots the fraction of failed searches
+and Figure 6(b) the average delivery time of successful searches, for the
+three recovery strategies: terminate, random re-route, and backtracking.
+
+Expected qualitative shape (what ``run_figure6`` should show):
+
+* the terminate strategy loses roughly (slightly fewer than) ``p`` of its
+  searches;
+* random re-route is noticeably better at moderate ``p``;
+* backtracking is dramatically better (the paper reports under 30% failed
+  searches even with 80% of the nodes dead at full scale) at the price of a
+  longer average delivery time;
+* delivery time grows only moderately with ``p`` for all strategies.
+
+Defaults are scaled down (2^12 nodes, 200 searches per point); pass
+``nodes=1 << 17, searches_per_point=100_000`` for a paper-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel, failure_sweep_levels
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.experiments.runner import ExperimentTable
+from repro.simulation.workload import LookupWorkload
+
+__all__ = ["Figure6Result", "run_figure6", "DEFAULT_STRATEGIES"]
+
+DEFAULT_STRATEGIES = (
+    RecoveryStrategy.TERMINATE,
+    RecoveryStrategy.RANDOM_REROUTE,
+    RecoveryStrategy.BACKTRACK,
+)
+
+
+@dataclass
+class Figure6Result:
+    """Numeric reproduction of Figure 6(a) and 6(b).
+
+    ``failed_fraction[strategy]`` and ``mean_hops[strategy]`` are lists
+    aligned with ``failure_levels``.
+    """
+
+    failure_levels: list[float]
+    failed_fraction: dict[str, list[float]] = field(default_factory=dict)
+    mean_hops: dict[str, list[float]] = field(default_factory=dict)
+    parameters: dict = field(default_factory=dict)
+
+    def to_tables(self) -> tuple[ExperimentTable, ExperimentTable]:
+        """Return (Figure 6a, Figure 6b) as printable tables."""
+        strategies = list(self.failed_fraction)
+        table_a = ExperimentTable(
+            title="Figure 6(a): fraction of failed searches vs fraction of failed nodes",
+            columns=["failed_nodes"] + strategies,
+        )
+        table_b = ExperimentTable(
+            title="Figure 6(b): mean delivery time (hops) of successful searches",
+            columns=["failed_nodes"] + strategies,
+        )
+        for index, level in enumerate(self.failure_levels):
+            table_a.add_row(level, *[self.failed_fraction[s][index] for s in strategies])
+            table_b.add_row(level, *[self.mean_hops[s][index] for s in strategies])
+        return table_a, table_b
+
+
+def run_figure6(
+    nodes: int = 1 << 12,
+    links_per_node: int | None = None,
+    failure_levels: list[float] | None = None,
+    searches_per_point: int = 200,
+    strategies=DEFAULT_STRATEGIES,
+    seed: int = 0,
+) -> Figure6Result:
+    """Reproduce Figure 6(a)/(b).
+
+    The network is built once per failure level (as in the paper, "in each
+    simulation, the network is set up afresh"), the failure model removes the
+    requested fraction of nodes, and every strategy routes the same
+    source/destination pairs so the comparison is paired.
+    """
+    if links_per_node is None:
+        links_per_node = max(1, int(np.ceil(np.log2(nodes))))
+    if failure_levels is None:
+        failure_levels = failure_sweep_levels(maximum=0.8, step=0.1)
+
+    result = Figure6Result(
+        failure_levels=list(failure_levels),
+        failed_fraction={s.value: [] for s in strategies},
+        mean_hops={s.value: [] for s in strategies},
+        parameters={
+            "nodes": nodes,
+            "links_per_node": links_per_node,
+            "searches_per_point": searches_per_point,
+            "seed": seed,
+        },
+    )
+
+    for level_index, level in enumerate(failure_levels):
+        build = build_ideal_network(
+            nodes, links_per_node=links_per_node, seed=seed + level_index
+        )
+        graph = build.graph
+        failure_model = NodeFailureModel(level, seed=seed + 1000 + level_index)
+        failure_model.apply(graph)
+        live = graph.labels(only_alive=True)
+        workload = LookupWorkload(seed=seed + 2000 + level_index)
+        pairs = workload.pairs(live, searches_per_point)
+
+        for strategy in strategies:
+            router = GreedyRouter(
+                graph=graph, recovery=strategy, seed=seed + 3000 + level_index
+            )
+            failures = 0
+            hops: list[int] = []
+            for source, target in pairs:
+                route = router.route(source, target)
+                if route.success:
+                    hops.append(route.hops)
+                else:
+                    failures += 1
+            result.failed_fraction[strategy.value].append(failures / len(pairs))
+            result.mean_hops[strategy.value].append(
+                float(np.mean(hops)) if hops else 0.0
+            )
+        failure_model.repair(graph)
+
+    return result

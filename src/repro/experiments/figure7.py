@@ -1,0 +1,134 @@
+"""Figure 7: heuristically constructed network vs ideal network under failures.
+
+The paper builds a 16384-node network ten times, both "ideally" (every node
+samples its long links straight from the inverse power-law distribution) and
+with the Section-5 heuristic (nodes arrive one at a time and solicit link
+redirects), fails a fraction of the nodes, and delivers 1000 messages between
+random live pairs.  Figure 7 plots the fraction of failed searches for both
+networks: the constructed network is somewhat worse but comparable.
+
+Defaults are scaled down (2^11 nodes, 2 iterations, 200 messages); pass
+``nodes=16384, iterations=10, searches_per_point=1000`` for paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import build_ideal_network
+from repro.core.construction import build_heuristic_network
+from repro.core.failures import NodeFailureModel, failure_sweep_levels
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.experiments.runner import ExperimentTable
+from repro.simulation.workload import LookupWorkload
+
+__all__ = ["Figure7Result", "run_figure7"]
+
+
+@dataclass
+class Figure7Result:
+    """Numeric reproduction of Figure 7."""
+
+    failure_levels: list[float]
+    ideal_failed_fraction: list[float] = field(default_factory=list)
+    constructed_failed_fraction: list[float] = field(default_factory=list)
+    parameters: dict = field(default_factory=dict)
+
+    def to_table(self) -> ExperimentTable:
+        """Return the figure as a printable table."""
+        table = ExperimentTable(
+            title="Figure 7: fraction of failed searches, constructed vs ideal network",
+            columns=["failed_nodes", "constructed", "ideal"],
+        )
+        for index, level in enumerate(self.failure_levels):
+            table.add_row(
+                level,
+                self.constructed_failed_fraction[index],
+                self.ideal_failed_fraction[index],
+            )
+        return table
+
+
+def _failed_fraction(graph, pairs, recovery, seed) -> float:
+    """Fraction of the given searches that fail on ``graph``."""
+    router = GreedyRouter(graph=graph, recovery=recovery, seed=seed)
+    failures = 0
+    for source, target in pairs:
+        if not router.route(source, target).success:
+            failures += 1
+    return failures / len(pairs)
+
+
+def run_figure7(
+    nodes: int = 1 << 11,
+    links_per_node: int | None = None,
+    failure_levels: list[float] | None = None,
+    searches_per_point: int = 200,
+    iterations: int = 2,
+    recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE,
+    seed: int = 0,
+) -> Figure7Result:
+    """Reproduce Figure 7.
+
+    For each failure level and iteration, an ideal and a heuristically
+    constructed network of the same size are built, the same fraction of nodes
+    fails in each, and the same number of random searches is routed; the
+    failed-search fractions are averaged over iterations.
+    """
+    if links_per_node is None:
+        links_per_node = max(1, int(np.ceil(np.log2(nodes))))
+    if failure_levels is None:
+        failure_levels = failure_sweep_levels(maximum=0.9, step=0.1)
+
+    result = Figure7Result(
+        failure_levels=list(failure_levels),
+        parameters={
+            "nodes": nodes,
+            "links_per_node": links_per_node,
+            "searches_per_point": searches_per_point,
+            "iterations": iterations,
+            "recovery": recovery.value,
+            "seed": seed,
+        },
+    )
+
+    # Build the networks once per iteration and reuse them across failure
+    # levels (failures are repaired after each level), which matches the
+    # paper's "10 iterations of constructing a network" methodology.
+    ideal_graphs = []
+    constructed_graphs = []
+    for iteration in range(iterations):
+        ideal_graphs.append(
+            build_ideal_network(nodes, links_per_node=links_per_node, seed=seed + iteration).graph
+        )
+        constructed_graphs.append(
+            build_heuristic_network(
+                n=nodes, links_per_node=links_per_node, seed=seed + 100 + iteration
+            ).graph
+        )
+
+    for level_index, level in enumerate(failure_levels):
+        ideal_fractions = []
+        constructed_fractions = []
+        for iteration in range(iterations):
+            for graph, bucket in (
+                (ideal_graphs[iteration], ideal_fractions),
+                (constructed_graphs[iteration], constructed_fractions),
+            ):
+                failure_model = NodeFailureModel(
+                    level, seed=seed + 1000 * (iteration + 1) + level_index
+                )
+                failure_model.apply(graph)
+                live = graph.labels(only_alive=True)
+                workload = LookupWorkload(seed=seed + 500 + level_index)
+                pairs = workload.pairs(live, searches_per_point)
+                bucket.append(
+                    _failed_fraction(graph, pairs, recovery, seed + level_index)
+                )
+                failure_model.repair(graph)
+        result.ideal_failed_fraction.append(float(np.mean(ideal_fractions)))
+        result.constructed_failed_fraction.append(float(np.mean(constructed_fractions)))
+
+    return result

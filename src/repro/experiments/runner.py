@@ -1,0 +1,92 @@
+"""Shared infrastructure for the experiment harness.
+
+Experiments produce :class:`ExperimentTable` objects — a header plus rows of
+values — which can be printed as aligned text tables (the library has no
+plotting dependency; the "figures" are reproduced as the numeric series the
+paper plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentTable", "format_table", "route_sample"]
+
+
+@dataclass
+class ExperimentTable:
+    """A rectangular result table with a title and column names."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; the number of values must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of the named column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError as error:
+            raise KeyError(f"no column named {name!r}") from error
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned monospace text."""
+        return format_table(self.title, self.columns, self.rows, notes=self.notes)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str = "",
+) -> str:
+    """Render a title, header, and rows as an aligned text table."""
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered_rows = [[render(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [title, "-" * max(len(title), 8)]
+    lines.append(format_row(list(columns)))
+    lines.append(format_row(["-" * width for width in widths]))
+    for row in rendered_rows:
+        lines.append(format_row(row))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def route_sample(graph, router, pairs) -> tuple[int, list[int]]:
+    """Route every (source, target) pair; return (failures, hops_of_successes)."""
+    failures = 0
+    hops: list[int] = []
+    for source, target in pairs:
+        result = router.route(source, target)
+        if result.success:
+            hops.append(result.hops)
+        else:
+            failures += 1
+    return failures, hops

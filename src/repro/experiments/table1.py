@@ -1,0 +1,265 @@
+"""Table 1: measured delivery times versus the theoretical bound shapes.
+
+Table 1 of the paper summarises the upper and lower bounds on greedy routing
+for six models (no failures with 1 / polylog / large numbers of links, link
+failures with the randomized and deterministic strategies, and node failures).
+This experiment measures mean delivery time for each model over a parameter
+sweep and reports it next to the corresponding bound shape, fitting the single
+scaling constant the asymptotic notation hides.
+
+The reproduction claim is about *shape*: e.g. measured hops for the
+single-link model should grow like ``log^2 n`` (good R² against the fitted
+``a·log²n + b`` model), hops with ``l`` links should fall roughly like
+``1/l``, hops under link failures like ``1/p``, and the deterministic
+base-``b`` scheme should deliver in about ``log_b n`` hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bounds
+from repro.core.builder import (
+    DeterministicGraphBuilder,
+    RandomGraphBuilder,
+    build_ideal_network,
+)
+from repro.core.distributions import InversePowerLawDistribution
+from repro.core.failures import LinkFailureModel, NodeFailureModel
+from repro.core.metric import RingMetric
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.experiments.runner import ExperimentTable
+from repro.simulation.workload import LookupWorkload
+
+__all__ = ["Table1Result", "run_table1", "measure_mean_hops"]
+
+
+def measure_mean_hops(
+    graph,
+    searches: int,
+    seed: int,
+    recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
+) -> tuple[float, float]:
+    """Return (mean hops of successful searches, failed fraction) on ``graph``."""
+    live = graph.labels(only_alive=True)
+    workload = LookupWorkload(seed=seed)
+    pairs = workload.pairs(live, searches)
+    router = GreedyRouter(graph=graph, recovery=recovery, seed=seed)
+    hops: list[int] = []
+    failures = 0
+    for source, target in pairs:
+        route = router.route(source, target)
+        if route.success:
+            hops.append(route.hops)
+        else:
+            failures += 1
+    mean_hops = float(np.mean(hops)) if hops else 0.0
+    return mean_hops, failures / len(pairs)
+
+
+@dataclass
+class Table1Result:
+    """Measured sweeps for every row of Table 1."""
+
+    single_link: ExperimentTable
+    polylog_links: ExperimentTable
+    deterministic: ExperimentTable
+    link_failures_random: ExperimentTable
+    link_failures_deterministic: ExperimentTable
+    node_failures: ExperimentTable
+    binomial_nodes: ExperimentTable
+    parameters: dict = field(default_factory=dict)
+
+    def tables(self) -> list[ExperimentTable]:
+        """All sub-tables in Table-1 row order."""
+        return [
+            self.single_link,
+            self.polylog_links,
+            self.deterministic,
+            self.link_failures_random,
+            self.link_failures_deterministic,
+            self.node_failures,
+            self.binomial_nodes,
+        ]
+
+    def to_text(self) -> str:
+        """Render every sub-table."""
+        return "\n\n".join(table.to_text() for table in self.tables())
+
+
+def run_table1(
+    sizes: list[int] | None = None,
+    link_counts: list[int] | None = None,
+    bases: list[int] | None = None,
+    probabilities: list[float] | None = None,
+    searches: int = 150,
+    seed: int = 0,
+) -> Table1Result:
+    """Measure delivery time for every Table-1 model.
+
+    Parameters
+    ----------
+    sizes:
+        Network sizes for the scaling sweeps (default ``2^8 .. 2^12``).
+    link_counts:
+        Values of ``l`` for the polylog-links sweep.
+    bases:
+        Bases for the deterministic scheme.
+    probabilities:
+        Survival probabilities for the failure sweeps.
+    searches:
+        Searches per measurement point.
+    seed:
+        Base seed.
+    """
+    if sizes is None:
+        sizes = [1 << k for k in range(8, 13)]
+    if link_counts is None:
+        link_counts = [1, 2, 4, 8, 12]
+    if bases is None:
+        bases = [2, 4, 8, 16]
+    if probabilities is None:
+        probabilities = [1.0, 0.9, 0.75, 0.5, 0.25]
+
+    # Row 1: single long link, no failures — hops should grow ~ log^2 n.
+    single = ExperimentTable(
+        title="Table 1 row 1 — no failures, l = 1: measured vs O(log^2 n)",
+        columns=["n", "measured_hops", "bound_shape_log2n_sq"],
+    )
+    for index, n in enumerate(sizes):
+        build = build_ideal_network(n, links_per_node=1, seed=seed + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 10 + index)
+        single.add_row(n, hops, bounds.upper_bound_single_link(n))
+
+    # Row 2: l links in [1, lg n] — hops should fall roughly like 1/l.
+    polylog_n = sizes[-1]
+    polylog = ExperimentTable(
+        title=f"Table 1 row 2 — no failures, n = {polylog_n}: measured vs O(log^2 n / l)",
+        columns=["links", "measured_hops", "bound_shape"],
+    )
+    for index, links in enumerate(link_counts):
+        build = build_ideal_network(polylog_n, links_per_node=links, seed=seed + 20 + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 30 + index)
+        polylog.add_row(links, hops, bounds.upper_bound_multiple_links(polylog_n, links))
+
+    # Row 3: deterministic base-b scheme — hops should be ~ log_b n.
+    deterministic = ExperimentTable(
+        title=f"Table 1 row 3 — deterministic base-b links, n = {polylog_n}: measured vs O(log_b n)",
+        columns=["base", "links_per_node", "measured_hops", "bound_shape_log_b_n"],
+    )
+    for index, base in enumerate(bases):
+        builder = DeterministicGraphBuilder(
+            space=RingMetric(polylog_n), base=base, variant="full", seed=seed + 40 + index
+        )
+        build = builder.build()
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 50 + index)
+        deterministic.add_row(
+            base, build.links_per_node, hops, bounds.upper_bound_deterministic(polylog_n, base)
+        )
+
+    # Row 4: link failures, randomized strategy — hops should grow ~ 1/p.
+    failure_n = sizes[-1]
+    failure_links = max(1, int(np.ceil(np.log2(failure_n))))
+    link_failures_random = ExperimentTable(
+        title=(
+            f"Table 1 row 4 — link failures, n = {failure_n}, l = {failure_links}: "
+            "measured vs O(log^2 n / (p l))"
+        ),
+        columns=["p_link_alive", "measured_hops", "failed_fraction", "bound_shape"],
+    )
+    base_build = build_ideal_network(failure_n, links_per_node=failure_links, seed=seed + 60)
+    for index, p in enumerate(probabilities):
+        model = LinkFailureModel(p, seed=seed + 70 + index)
+        model.apply(base_build.graph)
+        hops, failed = measure_mean_hops(base_build.graph, searches, seed + 80 + index)
+        link_failures_random.add_row(
+            p, hops, failed, bounds.upper_bound_link_failures_random(failure_n, failure_links, p)
+        )
+        model.repair(base_build.graph)
+
+    # Row 5: link failures, deterministic powers-of-b scheme — hops ~ b log n / p.
+    deterministic_base = 2
+    link_failures_det = ExperimentTable(
+        title=(
+            f"Table 1 row 5 — link failures, deterministic base-{deterministic_base} powers, "
+            f"n = {failure_n}: measured vs O(b log n / p)"
+        ),
+        columns=["p_link_alive", "measured_hops", "failed_fraction", "bound_shape"],
+    )
+    det_builder = DeterministicGraphBuilder(
+        space=RingMetric(failure_n), base=deterministic_base, variant="powers", seed=seed + 90
+    )
+    det_build = det_builder.build()
+    for index, p in enumerate(probabilities):
+        model = LinkFailureModel(p, seed=seed + 100 + index)
+        model.apply(det_build.graph)
+        hops, failed = measure_mean_hops(det_build.graph, searches, seed + 110 + index)
+        link_failures_det.add_row(
+            p, hops, failed,
+            bounds.upper_bound_link_failures_deterministic(failure_n, deterministic_base, p),
+        )
+        model.repair(det_build.graph)
+
+    # Row 6: node failures after construction — hops ~ 1 / (1 - p).
+    node_failures = ExperimentTable(
+        title=(
+            f"Table 1 row 6 — node failures, n = {failure_n}, l = {failure_links}: "
+            "measured vs O(log^2 n / ((1-p) l))"
+        ),
+        columns=["p_node_failed", "measured_hops", "failed_fraction", "bound_shape"],
+    )
+    node_build = build_ideal_network(failure_n, links_per_node=failure_links, seed=seed + 120)
+    for index, p_alive in enumerate(probabilities):
+        p_failed = round(1.0 - p_alive, 10)
+        model = NodeFailureModel(p_failed, seed=seed + 130 + index)
+        model.apply(node_build.graph)
+        hops, failed = measure_mean_hops(node_build.graph, searches, seed + 140 + index)
+        node_failures.add_row(
+            p_failed, hops, failed,
+            bounds.upper_bound_node_failures(failure_n, failure_links, p_failed),
+        )
+        model.repair(node_build.graph)
+
+    # Section 4.3.4.1: binomially distributed nodes — delivery time unchanged.
+    binomial = ExperimentTable(
+        title=(
+            "Section 4.3.4.1 — binomially placed nodes (links drawn to existing nodes only): "
+            "measured vs O(log^2 n) of the occupied count"
+        ),
+        columns=["presence_p", "occupied_nodes", "measured_hops", "bound_shape_log2_sq"],
+    )
+    binomial_space = sizes[-1]
+    for index, presence in enumerate([1.0, 0.75, 0.5, 0.25]):
+        builder = RandomGraphBuilder(
+            space=RingMetric(binomial_space),
+            distribution=InversePowerLawDistribution(binomial_space),
+            links_per_node=1,
+            presence_probability=presence,
+            seed=seed + 150 + index,
+        )
+        build = builder.build()
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 160 + index)
+        occupied = len(build.present_labels)
+        binomial.add_row(
+            presence, occupied, hops, bounds.upper_bound_single_link(max(2, occupied))
+        )
+
+    return Table1Result(
+        single_link=single,
+        polylog_links=polylog,
+        deterministic=deterministic,
+        link_failures_random=link_failures_random,
+        link_failures_deterministic=link_failures_det,
+        node_failures=node_failures,
+        binomial_nodes=binomial,
+        parameters={
+            "sizes": sizes,
+            "link_counts": link_counts,
+            "bases": bases,
+            "probabilities": probabilities,
+            "searches": searches,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,91 @@
+"""The discrete-event simulation engine.
+
+A thin, dependency-free event loop: components schedule callbacks on the
+shared :class:`~repro.simulation.events.EventQueue`, the engine pops events in
+time order and executes them, and the clock only moves when an event fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Runs events in simulated-time order.
+
+    Examples
+    --------
+    >>> simulator = Simulator()
+    >>> fired = []
+    >>> _ = simulator.schedule_at(2.0, lambda: fired.append("late"))
+    >>> _ = simulator.schedule_at(1.0, lambda: fired.append("early"))
+    >>> simulator.run()
+    >>> fired
+    ['early', 'late']
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    def schedule_at(self, time: float, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event in the past (now={self._now}, time={time})"
+            )
+        return self.queue.push(time, action, tag=tag)
+
+    def schedule_after(self, delay: float, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` after ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self._now + delay, action, tag=tag)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue is empty or a limit is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the event at exactly
+            ``until`` still fires).
+        max_events:
+            Stop after executing this many events (safety valve for runaway
+            protocols).
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                return
+            event = self.queue.pop()
+            if event is None:
+                return
+            self._now = event.time
+            event.action()
+            self._events_processed += 1
+            executed += 1
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(max_events=max_events)

@@ -1,0 +1,83 @@
+"""Event queue for the discrete-event simulator.
+
+Events carry a firing time, a strictly increasing sequence number (to break
+ties deterministically and keep insertion order for simultaneous events), and
+an arbitrary callback payload.  The queue is a binary heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is by ``(time, sequence)`` so that simultaneous events fire in
+    the order they were scheduled.
+
+    Attributes
+    ----------
+    time:
+        Simulated firing time.
+    sequence:
+        Tie-breaking sequence number assigned by the queue.
+    action:
+        Zero-argument callable executed when the event fires.
+    tag:
+        Optional label for debugging and tracing.
+    cancelled:
+        Cancelled events are skipped when popped.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop and return the next non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the next non-cancelled event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,83 @@
+"""Link-latency models for the discrete-event simulator.
+
+The paper measures cost in messages, so hop counts are the primary metric;
+the simulator nevertheless assigns a latency to every message so that
+wall-clock style results (completion times, timeout behaviour) can be studied.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["LatencyModel", "ConstantLatency", "UniformLatency", "LogNormalLatency"]
+
+
+class LatencyModel(abc.ABC):
+    """Interface for per-message latency sampling."""
+
+    @abc.abstractmethod
+    def sample(self, source: int, target: int) -> float:
+        """Return the latency of one message from ``source`` to ``target``."""
+
+
+@dataclass
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units (default 1.0).
+
+    With this model the simulator's completion times equal hop counts, which
+    makes cross-checking against the synchronous core router trivial.
+    """
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.value, "value")
+
+    def sample(self, source: int, target: int) -> float:
+        return self.value
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` per message."""
+
+    low: float = 0.5
+    high: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.low, "low")
+        if self.high < self.low:
+            raise ValueError(f"high ({self.high}) must be >= low ({self.low})")
+        self._rng = spawn_rng(self.seed, "uniform-latency")
+
+    def sample(self, source: int, target: int) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+
+@dataclass
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency: ``exp(N(mu, sigma))`` per message.
+
+    A reasonable stand-in for wide-area round-trip times, which are famously
+    log-normal-ish with a long tail.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.median, "median")
+        ensure_non_negative(self.sigma, "sigma")
+        self._rng = spawn_rng(self.seed, "lognormal-latency")
+        self._mu = float(np.log(self.median))
+
+    def sample(self, source: int, target: int) -> float:
+        return float(self._rng.lognormal(self._mu, self.sigma))

@@ -1,0 +1,60 @@
+"""Message records exchanged by simulated protocol nodes."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageKind", "Message"]
+
+_message_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """The message types used by the greedy-routing protocol."""
+
+    LOOKUP_REQUEST = "lookup-request"
+    LOOKUP_REPLY = "lookup-reply"
+    LOOKUP_FAILURE = "lookup-failure"
+    JOIN_REQUEST = "join-request"
+    JOIN_REPLY = "join-reply"
+    PING = "ping"
+    PONG = "pong"
+    REPAIR_NOTIFY = "repair-notify"
+
+
+@dataclass
+class Message:
+    """A single protocol message in flight.
+
+    Attributes
+    ----------
+    kind:
+        The message type.
+    source:
+        Label of the sending node.
+    destination:
+        Label of the receiving node (the next hop, not the final target).
+    target_point:
+        The metric-space point the enclosing search is heading for, when
+        applicable.
+    search_id:
+        Identifier correlating all messages of one search.
+    hop_count:
+        Number of overlay hops this message's search has taken so far.
+    payload:
+        Arbitrary extra data (e.g. the located value in a reply).
+    message_id:
+        Globally unique message identifier (assigned automatically).
+    """
+
+    kind: MessageKind
+    source: int
+    destination: int
+    target_point: int | None = None
+    search_id: int | None = None
+    hop_count: int = 0
+    payload: Any = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))

@@ -1,0 +1,106 @@
+"""Statistics collection for simulation runs.
+
+The collector records one :class:`SearchRecord` per search plus aggregate
+message counters, and :func:`summarize_searches` turns a list of records into
+the summary statistics the paper reports (fraction of failed searches,
+average delivery time of successful searches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SearchRecord", "MetricsCollector", "summarize_searches"]
+
+
+@dataclass
+class SearchRecord:
+    """Outcome of one simulated search."""
+
+    search_id: int
+    origin: int
+    target_point: int
+    success: bool
+    hops: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def latency(self) -> float:
+        """Simulated wall-clock duration of the search."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-search records and message counters."""
+
+    searches: list[SearchRecord] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+
+    def record_search(self, record: SearchRecord) -> None:
+        """Append one finished search."""
+        self.searches.append(record)
+
+    def record_message_sent(self) -> None:
+        self.messages_sent += 1
+
+    def record_message_delivered(self) -> None:
+        self.messages_delivered += 1
+
+    def record_message_dropped(self) -> None:
+        self.messages_dropped += 1
+
+    def summary(self) -> dict:
+        """Return the aggregate statistics of all recorded searches."""
+        result = summarize_searches(self.searches)
+        result.update(
+            {
+                "messages_sent": self.messages_sent,
+                "messages_delivered": self.messages_delivered,
+                "messages_dropped": self.messages_dropped,
+            }
+        )
+        return result
+
+
+def summarize_searches(records: list[SearchRecord]) -> dict:
+    """Summarise a list of search records.
+
+    Returns a dictionary with the fields the paper's figures report:
+    ``failed_fraction`` and ``mean_hops_successful`` plus supporting
+    percentiles and counts.
+    """
+    total = len(records)
+    if total == 0:
+        return {
+            "searches": 0,
+            "failed_fraction": 0.0,
+            "mean_hops_successful": 0.0,
+            "median_hops_successful": 0.0,
+            "p95_hops_successful": 0.0,
+            "mean_latency_successful": 0.0,
+        }
+    successful = [record for record in records if record.success]
+    failed_fraction = 1.0 - len(successful) / total
+    if successful:
+        hops = np.array([record.hops for record in successful], dtype=float)
+        latencies = np.array([record.latency for record in successful], dtype=float)
+        mean_hops = float(hops.mean())
+        median_hops = float(np.median(hops))
+        p95_hops = float(np.percentile(hops, 95))
+        mean_latency = float(latencies.mean())
+    else:
+        mean_hops = median_hops = p95_hops = mean_latency = 0.0
+    return {
+        "searches": total,
+        "failed_fraction": failed_fraction,
+        "mean_hops_successful": mean_hops,
+        "median_hops_successful": median_hops,
+        "p95_hops_successful": p95_hops,
+        "mean_latency_successful": mean_latency,
+    }

@@ -1,0 +1,274 @@
+"""The greedy-routing protocol running on the discrete-event simulator.
+
+:class:`RoutingProtocol` drives searches hop by hop as *messages*: every
+forwarding step is a :class:`~repro.simulation.messages.Message` scheduled on
+the simulator with a latency drawn from the latency model.  The protocol uses
+the same neighbour-selection logic as the synchronous
+:class:`~repro.core.routing.GreedyRouter` (it delegates to it), so hop counts
+agree between the two execution models; what the simulator adds is timing,
+interleaving of concurrent searches, and message accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.graph import OverlayGraph
+from repro.core.routing import GreedyRouter, RecoveryStrategy, RoutingMode
+from repro.simulation.engine import Simulator
+from repro.simulation.latency import ConstantLatency, LatencyModel
+from repro.simulation.messages import Message, MessageKind
+from repro.simulation.metrics import MetricsCollector, SearchRecord
+
+__all__ = ["ProtocolConfig", "RoutingProtocol"]
+
+
+@dataclass
+class ProtocolConfig:
+    """Configuration of the simulated routing protocol.
+
+    Attributes
+    ----------
+    mode:
+        Greedy routing mode.
+    recovery:
+        Recovery strategy used when a hop has no usable next node.
+    strict_best_neighbor / symmetric_neighbors:
+        Passed straight through to the underlying hop-selection logic.
+    hop_limit:
+        Per-search hop budget; ``None`` derives a default from the graph size.
+    """
+
+    mode: RoutingMode = RoutingMode.TWO_SIDED
+    recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE
+    strict_best_neighbor: bool = False
+    symmetric_neighbors: bool = True
+    hop_limit: int | None = None
+
+
+@dataclass
+class _ActiveSearch:
+    """Book-keeping for a search in flight."""
+
+    search_id: int
+    origin: int
+    target: int
+    started_at: float
+    hops: int = 0
+    backtrack_stack: list[int] = field(default_factory=list)
+    tried: dict[int, set[int]] = field(default_factory=dict)
+    finished: bool = False
+
+
+class RoutingProtocol:
+    """Simulated, message-level greedy routing over an overlay graph.
+
+    Parameters
+    ----------
+    graph:
+        The overlay graph (typically built by one of the builders or the
+        construction heuristic).
+    simulator:
+        The event loop to schedule messages on.
+    latency:
+        Per-message latency model (default: constant 1.0, making completion
+        time equal hop count).
+    config:
+        Protocol options.
+    metrics:
+        Optional shared metrics collector; one is created when omitted.
+    seed:
+        Seed for the recovery strategies' randomness.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        simulator: Simulator,
+        latency: LatencyModel | None = None,
+        config: ProtocolConfig | None = None,
+        metrics: MetricsCollector | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.simulator = simulator
+        self.latency = latency or ConstantLatency()
+        self.config = config or ProtocolConfig()
+        self.metrics = metrics or MetricsCollector()
+        self._router = GreedyRouter(
+            graph=graph,
+            mode=self.config.mode,
+            recovery=self.config.recovery,
+            strict_best_neighbor=self.config.strict_best_neighbor,
+            symmetric_neighbors=self.config.symmetric_neighbors,
+            hop_limit=self.config.hop_limit,
+            seed=seed,
+        )
+        self._search_counter = 0
+        self._active: dict[int, _ActiveSearch] = {}
+        self._completion_callbacks: dict[int, Callable[[SearchRecord], None]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def start_search(
+        self,
+        origin: int,
+        target: int,
+        at_time: float | None = None,
+        on_complete: Callable[[SearchRecord], None] | None = None,
+    ) -> int:
+        """Schedule a search from ``origin`` to the node at ``target``.
+
+        Returns the search id.  The search begins at ``at_time`` (default:
+        now) and completes asynchronously; pass ``on_complete`` to be notified
+        with the final :class:`~repro.simulation.metrics.SearchRecord`.
+        """
+        search_id = self._search_counter
+        self._search_counter += 1
+        start_time = self.simulator.now if at_time is None else at_time
+        search = _ActiveSearch(
+            search_id=search_id, origin=origin, target=target, started_at=start_time
+        )
+        self._active[search_id] = search
+        if on_complete is not None:
+            self._completion_callbacks[search_id] = on_complete
+        self.simulator.schedule_at(
+            start_time,
+            lambda: self._process_at(search_id, origin),
+            tag=f"search-{search_id}-start",
+        )
+        return search_id
+
+    def pending_searches(self) -> int:
+        """Number of searches that have not yet completed."""
+        return sum(1 for search in self._active.values() if not search.finished)
+
+    # ------------------------------------------------------------------ #
+    # Per-hop processing
+    # ------------------------------------------------------------------ #
+
+    def _process_at(self, search_id: int, current: int) -> None:
+        """Handle the search arriving at ``current``."""
+        search = self._active[search_id]
+        if search.finished:
+            return
+
+        hop_limit = self._router.hop_limit
+        if not self.graph.is_alive(current):
+            self._finish(search, success=False)
+            return
+        if current == search.target:
+            self._finish(search, success=True)
+            return
+        if search.hops >= hop_limit:
+            self._finish(search, success=False)
+            return
+
+        next_hop = self._select_next_hop(search, current)
+        if next_hop is None:
+            next_hop = self._recover(search, current)
+            if next_hop is None:
+                self._finish(search, success=False)
+                return
+
+        self._forward(search, current, next_hop)
+
+    def _select_next_hop(self, search: _ActiveSearch, current: int) -> int | None:
+        """Pick the greedy next hop, skipping neighbours already tried.
+
+        The per-search ``tried`` sets make backtracking behave as a bounded
+        depth-first search instead of ping-ponging between the same two nodes.
+        """
+        candidates = self._router._candidate_neighbors(current, search.target)
+        already_tried = search.tried.get(current, set())
+        untried = [c for c in candidates if c not in already_tried]
+        if not untried:
+            return None
+        if self.config.strict_best_neighbor:
+            best = untried[0]
+            return best if self.graph.is_alive(best) else None
+        for candidate in untried:
+            if self.graph.is_alive(candidate):
+                return candidate
+        return None
+
+    def _recover(self, search: _ActiveSearch, current: int) -> int | None:
+        """Apply the configured recovery strategy at a stuck node."""
+        recovery = self.config.recovery
+        if recovery is RecoveryStrategy.TERMINATE:
+            return None
+        if recovery is RecoveryStrategy.RANDOM_REROUTE:
+            detour = self._router._pick_random_live_node(exclude={current})
+            if detour is None or detour == current:
+                return None
+            # Head one greedy hop towards the detour node; subsequent hops will
+            # naturally keep converging on the target after reaching it because
+            # the detour becomes the new position, not the new target.
+            return self._router._next_hop(current, detour)
+        # Backtracking: return to the most recently visited node.
+        while search.backtrack_stack:
+            previous = search.backtrack_stack.pop()
+            if self.graph.is_alive(previous):
+                return previous
+        return None
+
+    def _forward(self, search: _ActiveSearch, current: int, next_hop: int) -> None:
+        """Send the lookup message one hop and schedule its arrival."""
+        message = Message(
+            kind=MessageKind.LOOKUP_REQUEST,
+            source=current,
+            destination=next_hop,
+            target_point=search.target,
+            search_id=search.search_id,
+            hop_count=search.hops + 1,
+        )
+        self.metrics.record_message_sent()
+        delay = self.latency.sample(current, next_hop)
+        search.hops += 1
+        search.tried.setdefault(current, set()).add(next_hop)
+        if self.config.recovery is RecoveryStrategy.BACKTRACK:
+            search.backtrack_stack.append(current)
+            if len(search.backtrack_stack) > self._router.backtrack_depth:
+                search.backtrack_stack.pop(0)
+        self.simulator.schedule_after(
+            delay,
+            lambda: self._deliver(message),
+            tag=f"search-{search.search_id}-hop-{search.hops}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        """Deliver a message to its destination node."""
+        search = self._active.get(message.search_id)
+        if search is None or search.finished:
+            return
+        if not self.graph.is_alive(message.destination):
+            self.metrics.record_message_dropped()
+            # The sender notices the silence and applies recovery on its side.
+            fallback = self._recover(search, message.source)
+            if fallback is None:
+                self._finish(search, success=False)
+                return
+            self._forward(search, message.source, fallback)
+            return
+        self.metrics.record_message_delivered()
+        self._process_at(search.search_id, message.destination)
+
+    def _finish(self, search: _ActiveSearch, success: bool) -> None:
+        """Record the search outcome and fire its completion callback."""
+        search.finished = True
+        record = SearchRecord(
+            search_id=search.search_id,
+            origin=search.origin,
+            target_point=search.target,
+            success=success,
+            hops=search.hops,
+            started_at=search.started_at,
+            finished_at=self.simulator.now,
+        )
+        self.metrics.record_search(record)
+        callback = self._completion_callbacks.pop(search.search_id, None)
+        if callback is not None:
+            callback(record)

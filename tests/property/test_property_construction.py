@@ -1,0 +1,134 @@
+"""Property-based tests for the graph builders and the construction heuristic."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import RandomGraphBuilder
+from repro.core.construction import HeuristicConstruction
+from repro.core.graph import OverlayGraph
+from repro.core.metric import RingMetric
+
+
+class TestBuilderInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=512),
+        links=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+        presence=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_structural_invariants(self, n, links, seed, presence):
+        builder = RandomGraphBuilder(
+            space=RingMetric(n),
+            links_per_node=links,
+            presence_probability=presence,
+            seed=seed,
+        )
+        result = builder.build()
+        graph = result.graph
+        present = set(result.present_labels)
+        assert len(graph) == len(present)
+        for node in graph.nodes():
+            # No self links, no duplicates, all targets exist.
+            targets = node.long_link_targets()
+            assert node.label not in targets
+            assert len(targets) == len(set(targets))
+            assert len(targets) <= links
+            assert all(target in present for target in targets)
+            # Ring pointers point at present nodes (or None for singletons).
+            if len(present) > 1:
+                assert node.left in present and node.right in present
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=256),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_ring_is_a_single_cycle(self, n, seed):
+        builder = RandomGraphBuilder(space=RingMetric(n), links_per_node=1, seed=seed)
+        graph = builder.build().graph
+        start = 0
+        visited = set()
+        current = start
+        for _ in range(n):
+            visited.add(current)
+            current = graph.node(current).right
+        assert current == start
+        assert len(visited) == n
+
+
+class TestHeuristicConstructionInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=16, max_value=256),
+        links=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+        data=st.data(),
+    )
+    def test_arrivals_preserve_invariants(self, n, links, seed, data):
+        count = data.draw(st.integers(min_value=2, max_value=min(40, n)))
+        labels = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        construction = HeuristicConstruction(
+            space=RingMetric(n), links_per_node=links, seed=seed
+        )
+        construction.add_points(labels)
+        graph = construction.graph
+        occupied = set(labels)
+        assert len(graph) == len(occupied)
+        for node in graph.nodes():
+            targets = node.long_link_targets(only_alive=False)
+            assert node.label not in targets
+            assert all(target in occupied for target in targets)
+        self._assert_sorted_ring(graph, occupied)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        data=st.data(),
+    )
+    def test_departures_preserve_ring(self, seed, data):
+        n = 128
+        labels = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=6,
+                max_size=20,
+                unique=True,
+            )
+        )
+        construction = HeuristicConstruction(space=RingMetric(n), links_per_node=3, seed=seed)
+        construction.add_points(labels)
+        departures = data.draw(
+            st.lists(st.sampled_from(labels), min_size=1, max_size=len(labels) - 2, unique=True)
+        )
+        for label in departures:
+            construction.remove_point(label)
+        remaining = set(labels) - set(departures)
+        graph = construction.graph
+        assert set(graph.labels()) == remaining
+        for node in graph.nodes():
+            for target in node.long_link_targets(only_alive=False):
+                assert target in remaining
+        self._assert_sorted_ring(graph, remaining)
+
+    @staticmethod
+    def _assert_sorted_ring(graph: OverlayGraph, occupied: set[int]) -> None:
+        """Every node's right pointer is its successor in sorted (cyclic) order."""
+        ordered = sorted(occupied)
+        if len(ordered) < 2:
+            return
+        successor = {
+            label: ordered[(index + 1) % len(ordered)]
+            for index, label in enumerate(ordered)
+        }
+        for label in ordered:
+            assert graph.node(label).right == successor[label]

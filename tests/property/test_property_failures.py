@@ -1,0 +1,143 @@
+"""Property-based tests for failure models, maintenance, and the DHT layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import LinkFailureModel, NodeFailureModel
+from repro.core.maintenance import MaintenanceDaemon, prune_dead_links
+from repro.core.construction import HeuristicConstruction
+from repro.core.metric import RingMetric
+from repro.dht.dht import DhtConfig, DistributedHashTable
+
+
+class TestFailureModelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        level=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_node_failure_apply_repair_roundtrip(self, level, seed):
+        graph = build_ideal_network(128, links_per_node=3, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed)
+        summary = model.apply(graph)
+        assert summary["failed_nodes"] == 128 - graph.alive_count()
+        assert summary["failed_nodes"] == round(level * 128)
+        model.repair(graph)
+        assert graph.alive_count() == 128
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_link_failure_apply_repair_roundtrip(self, p, seed):
+        graph = build_ideal_network(128, links_per_node=4, seed=seed).graph
+        total_before = graph.total_long_links(only_alive=True)
+        model = LinkFailureModel(p, seed=seed)
+        summary = model.apply(graph)
+        assert summary["failed_links"] == total_before - graph.total_long_links(only_alive=True)
+        model.repair(graph)
+        assert graph.total_long_links(only_alive=True) == total_before
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        level=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_protected_nodes_never_fail(self, level, seed):
+        graph = build_ideal_network(128, links_per_node=3, seed=seed).graph
+        protected = frozenset({0, 17, 64, 100})
+        model = NodeFailureModel(level, seed=seed, protect=protected)
+        model.apply(graph)
+        assert all(graph.is_alive(label) for label in protected)
+        model.repair(graph)
+
+
+class TestMaintenanceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        victims=st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=20),
+    )
+    def test_after_repair_no_links_point_at_dead_nodes(self, seed, victims):
+        construction = HeuristicConstruction(space=RingMetric(64), links_per_node=4, seed=seed)
+        construction.add_points(list(range(64)))
+        graph = construction.graph
+        for victim in victims:
+            graph.fail_node(victim)
+        daemon = MaintenanceDaemon(construction)
+        daemon.repair_all()
+        for node in graph.nodes():
+            if not node.alive:
+                continue
+            for target in node.long_link_targets():
+                assert graph.is_alive(target)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        victims=st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=30),
+    )
+    def test_prune_removes_exactly_dead_targets(self, seed, victims):
+        graph = build_ideal_network(64, links_per_node=4, seed=seed).graph
+        for victim in victims:
+            graph.fail_node(victim)
+        dead_links_before = sum(
+            1
+            for node in graph.nodes()
+            for link in node.long_links
+            if not graph.is_alive(link.target)
+        )
+        removed = prune_dead_links(graph)
+        assert removed == dead_links_before
+        for node in graph.nodes():
+            for link in node.long_links:
+                assert graph.is_alive(link.target)
+
+
+class TestDhtProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        keys=st.lists(
+            st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+            min_size=1,
+            max_size=15,
+            unique=True,
+        ),
+    )
+    def test_put_then_get_returns_latest_value(self, seed, keys):
+        dht = DistributedHashTable(DhtConfig(space_size=128, seed=seed))
+        dht.join_many(range(0, 128, 4))
+        expected = {}
+        for index, key in enumerate(keys):
+            value = f"value-{index}"
+            result = dht.put(key, value, origin=0)
+            assert result.ok
+            expected[key] = value
+        # Overwrite a few of them.
+        for index, key in enumerate(keys[::2]):
+            value = f"updated-{index}"
+            assert dht.put(key, value, origin=4).ok
+            expected[key] = value
+        for key, value in expected.items():
+            outcome = dht.get(key, origin=64)
+            assert outcome.ok
+            assert outcome.value == value
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=20))
+    def test_keys_survive_any_single_crash(self, seed):
+        dht = DistributedHashTable(DhtConfig(space_size=128, seed=seed))
+        dht.join_many(range(0, 128, 8))
+        result = dht.put("important", "payload", origin=0)
+        assert result.ok
+        primary = result.holder
+        if primary != 0:
+            dht.crash(primary)
+        outcome = dht.get("important", origin=0)
+        assert outcome.ok
+        assert outcome.value == "payload"

@@ -1,0 +1,104 @@
+"""Property-based tests for routing invariants.
+
+The key invariants, independent of the random topology:
+
+* greedy routing on a failure-free connected overlay always succeeds;
+* the hop count never exceeds the ring distance between source and target
+  (the immediate-neighbour links alone achieve that, and greedy only takes a
+  long link when it helps);
+* every intermediate hop strictly decreases the distance to the target;
+* routing is deterministic for a fixed graph and seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+
+
+@st.composite
+def network_and_pair(draw):
+    exponent = draw(st.integers(min_value=5, max_value=9))
+    n = 1 << exponent
+    seed = draw(st.integers(min_value=0, max_value=50))
+    links = draw(st.integers(min_value=1, max_value=8))
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    return n, seed, links, source, target
+
+
+class TestFailureFreeRouting:
+    @settings(max_examples=30, deadline=None)
+    @given(network_and_pair())
+    def test_always_succeeds(self, data):
+        n, seed, links, source, target = data
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        router = GreedyRouter(graph)
+        result = router.route(source, target)
+        assert result.success
+
+    @settings(max_examples=30, deadline=None)
+    @given(network_and_pair())
+    def test_hops_bounded_by_ring_distance(self, data):
+        n, seed, links, source, target = data
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        router = GreedyRouter(graph)
+        result = router.route(source, target)
+        assert result.hops <= graph.space.distance(source, target)
+
+    @settings(max_examples=30, deadline=None)
+    @given(network_and_pair())
+    def test_strictly_decreasing_distances(self, data):
+        n, seed, links, source, target = data
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        router = GreedyRouter(graph)
+        result = router.route(source, target)
+        distances = [graph.space.distance(label, target) for label in result.path]
+        assert all(later < earlier for earlier, later in zip(distances, distances[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(network_and_pair())
+    def test_deterministic(self, data):
+        n, seed, links, source, target = data
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        first = GreedyRouter(graph, seed=3).route(source, target)
+        second = GreedyRouter(graph, seed=3).route(source, target)
+        assert first.path == second.path
+
+
+class TestRoutingUnderFailures:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        level=st.floats(min_value=0.0, max_value=0.7),
+        strategy=st.sampled_from(list(RecoveryStrategy)),
+    )
+    def test_routes_terminate_and_report_consistently(self, seed, level, strategy):
+        n = 256
+        graph = build_ideal_network(n, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed)
+        model.apply(graph)
+        live = graph.labels(only_alive=True)
+        router = GreedyRouter(graph, recovery=strategy, seed=seed)
+        source, target = live[0], live[-1]
+        result = router.route(source, target)
+        # Whatever happens, the route report must be internally consistent.
+        assert result.hops == len(result.path) - 1 or not result.success
+        if result.success:
+            assert result.path[-1] == target
+        assert result.hops <= router.hop_limit
+        model.repair(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=30))
+    def test_failed_endpoints_never_succeed(self, seed):
+        graph = build_ideal_network(128, seed=seed).graph
+        graph.fail_node(7)
+        router = GreedyRouter(graph)
+        assert not router.route(7, 100).success
+        assert not router.route(100, 7).success
+        graph.revive_node(7)

@@ -1,0 +1,109 @@
+"""Unit tests for the analysis utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_log_squared_model, fit_power_law, goodness_of_fit_r2
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    mean_confidence_interval,
+    total_variation_distance,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_empty(self):
+        assert mean_confidence_interval([]) == (0.0, 0.0, 0.0)
+
+    def test_single_value(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_interval_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, low, high = mean_confidence_interval(data)
+        assert low <= mean <= high
+        assert mean == pytest.approx(3.0)
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, 20)
+        large = rng.normal(0, 1, 2000)
+        _, low_s, high_s = mean_confidence_interval(small)
+        _, low_l, high_l = mean_confidence_interval(large)
+        assert (high_l - low_l) < (high_s - low_s)
+
+
+class TestBinomialConfidenceInterval:
+    def test_zero_trials(self):
+        assert binomial_confidence_interval(0, 0) == (0.0, 0.0, 0.0)
+
+    def test_bounds_in_unit_interval(self):
+        proportion, low, high = binomial_confidence_interval(3, 10)
+        assert 0.0 <= low <= proportion <= high <= 1.0
+
+    def test_extremes(self):
+        _, low, high = binomial_confidence_interval(0, 50)
+        assert low == pytest.approx(0.0)
+        _, low, high = binomial_confidence_interval(50, 50)
+        assert high == pytest.approx(1.0)
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(11, 10)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_unnormalised_inputs_accepted(self):
+        assert total_variation_distance([2, 2], [5, 5]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([1, 0], [1, 0, 0])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([0, 0], [1, 0])
+
+
+class TestFitting:
+    def test_power_law_recovers_exponent(self):
+        x = np.array([1, 2, 4, 8, 16, 32], dtype=float)
+        y = 3.0 * x**1.7
+        alpha, c = fit_power_law(x, y)
+        assert alpha == pytest.approx(1.7, rel=1e-6)
+        assert c == pytest.approx(3.0, rel=1e-6)
+
+    def test_power_law_requires_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+
+    def test_log_squared_model(self):
+        n = np.array([2**k for k in range(6, 14)], dtype=float)
+        hops = 0.5 * np.log2(n) ** 2 + 3.0
+        a, b = fit_log_squared_model(n, hops)
+        assert a == pytest.approx(0.5, rel=1e-6)
+        assert b == pytest.approx(3.0, rel=1e-6)
+
+    def test_log_squared_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            fit_log_squared_model([1, 4], [1.0, 2.0])
+
+    def test_r2_perfect_fit(self):
+        assert goodness_of_fit_r2([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_r2_poor_fit_lower(self):
+        good = goodness_of_fit_r2([1, 2, 3, 4], [1.1, 1.9, 3.1, 3.9])
+        bad = goodness_of_fit_r2([1, 2, 3, 4], [4, 3, 2, 1])
+        assert good > bad
+
+    def test_r2_constant_observed(self):
+        assert goodness_of_fit_r2([2, 2, 2], [2, 2, 2]) == 1.0
+        assert goodness_of_fit_r2([2, 2, 2], [1, 2, 3]) == 0.0

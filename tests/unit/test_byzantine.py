@@ -1,0 +1,98 @@
+"""Unit tests for the Byzantine-routing extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_ideal_network
+from repro.core.byzantine import ByzantineAwareRouter, RedundantRouter
+from repro.core.failures import ByzantineBehavior, ByzantineModel
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_ideal_network(512, seed=11)
+
+
+class TestByzantineAwareRouter:
+    def test_no_adversary_behaves_like_greedy(self, network):
+        adversary = ByzantineModel(0.0, seed=0)
+        adversary.apply(network.graph)
+        router = ByzantineAwareRouter(graph=network.graph, adversary=adversary)
+        result = router.route(0, 300)
+        assert result.success
+        adversary.repair(network.graph)
+
+    def test_drop_behavior_loses_messages(self, network):
+        adversary = ByzantineModel(0.3, behavior=ByzantineBehavior.DROP, seed=1)
+        adversary.apply(network.graph)
+        router = ByzantineAwareRouter(graph=network.graph, adversary=adversary, seed=1)
+        honest = [
+            label for label in network.graph.labels(only_alive=True)
+            if not adversary.is_compromised(label)
+        ]
+        failures = sum(
+            1 for source, target in zip(honest[:100:2], honest[1:100:2])
+            if not router.route(source, target).success
+        )
+        assert failures > 0
+        adversary.repair(network.graph)
+
+    def test_dead_endpoints_reported(self, network):
+        adversary = ByzantineModel(0.0, seed=2)
+        adversary.apply(network.graph)
+        network.graph.fail_node(5)
+        router = ByzantineAwareRouter(graph=network.graph, adversary=adversary)
+        assert not router.route(5, 100).success
+        assert not router.route(100, 5).success
+        network.graph.revive_node(5)
+        adversary.repair(network.graph)
+
+    def test_misroute_behavior_terminates(self, network):
+        adversary = ByzantineModel(0.2, behavior=ByzantineBehavior.MISROUTE, seed=3)
+        adversary.apply(network.graph)
+        router = ByzantineAwareRouter(graph=network.graph, adversary=adversary, seed=3)
+        # Must terminate (success or not) within the hop limit.
+        result = router.route(0, 400)
+        assert result.hops <= router.hop_limit
+        adversary.repair(network.graph)
+
+    def test_random_behavior_terminates(self, network):
+        adversary = ByzantineModel(0.2, behavior=ByzantineBehavior.RANDOM, seed=4)
+        adversary.apply(network.graph)
+        router = ByzantineAwareRouter(graph=network.graph, adversary=adversary, seed=4)
+        result = router.route(3, 200)
+        assert result.hops <= router.hop_limit
+        adversary.repair(network.graph)
+
+
+class TestRedundantRouter:
+    def test_redundancy_improves_on_plain(self, network):
+        adversary = ByzantineModel(0.25, behavior=ByzantineBehavior.DROP, seed=5)
+        adversary.apply(network.graph)
+        honest = [
+            label for label in network.graph.labels(only_alive=True)
+            if not adversary.is_compromised(label)
+        ]
+        pairs = list(zip(honest[:120:2], honest[1:120:2]))
+        plain = ByzantineAwareRouter(graph=network.graph, adversary=adversary, seed=6)
+        redundant = RedundantRouter(
+            graph=network.graph, adversary=adversary, redundancy=4, seed=6
+        )
+        plain_failures = sum(1 for s, t in pairs if not plain.route(s, t).success)
+        redundant_failures = sum(1 for s, t in pairs if not redundant.route(s, t).success)
+        assert redundant_failures <= plain_failures
+        adversary.repair(network.graph)
+
+    def test_redundancy_one_equals_single_attempt(self, network):
+        adversary = ByzantineModel(0.0, seed=7)
+        adversary.apply(network.graph)
+        redundant = RedundantRouter(graph=network.graph, adversary=adversary, redundancy=1)
+        result = redundant.route(0, 256)
+        assert result.success
+        adversary.repair(network.graph)
+
+    def test_invalid_redundancy(self, network):
+        adversary = ByzantineModel(0.0, seed=8)
+        with pytest.raises(ValueError):
+            RedundantRouter(graph=network.graph, adversary=adversary, redundancy=0)

@@ -1,0 +1,57 @@
+"""Unit tests for the experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_figure5_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.command == "figure5"
+        assert args.nodes == 1 << 12
+        assert args.networks == 3
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "9", "table1"])
+        assert args.seed == 9
+
+    def test_all_commands_exist(self):
+        parser = build_parser()
+        for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines", "all"):
+            args = parser.parse_args([command]) if command != "all" else parser.parse_args(["all"])
+            assert args.command == command
+
+
+class TestMain:
+    def test_figure5_small(self, capsys):
+        exit_code = main(["figure5", "--nodes", "128", "--networks", "1", "--links", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "max |error|" in output
+
+    def test_figure7_small(self, capsys):
+        exit_code = main(
+            ["figure7", "--nodes", "128", "--searches", "20", "--iterations", "1"]
+        )
+        assert exit_code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_figure6_small(self, capsys):
+        exit_code = main(["figure6", "--nodes", "256", "--searches", "20"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 6(a)" in output and "Figure 6(b)" in output
+
+    def test_baselines_small(self, capsys):
+        exit_code = main(["baselines", "--bits", "6", "--searches", "20"])
+        assert exit_code == 0
+        assert "chord" in capsys.readouterr().out

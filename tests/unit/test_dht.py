@@ -1,0 +1,169 @@
+"""Unit tests for the DHT layer (storage, replication, facade)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metric import RingMetric
+from repro.dht.dht import DhtConfig, DistributedHashTable
+from repro.dht.replication import SuccessorReplication
+from repro.dht.storage import NodeStorage
+
+
+class TestNodeStorage:
+    def test_put_get_delete(self):
+        storage = NodeStorage(owner=1)
+        assert storage.put("k", "v", point=10)
+        assert storage.get("k").value == "v"
+        assert "k" in storage
+        assert storage.delete("k")
+        assert storage.get("k") is None
+        assert not storage.delete("k")
+
+    def test_version_conflict_resolution(self):
+        storage = NodeStorage(owner=1)
+        storage.put("k", "new", point=10, version=5)
+        assert not storage.put("k", "stale", point=10, version=3)
+        assert storage.get("k").value == "new"
+        assert storage.put("k", "newer", point=10, version=6)
+        assert storage.get("k").value == "newer"
+
+    def test_primary_and_replica_separation(self):
+        storage = NodeStorage(owner=1)
+        storage.put("p", 1, point=10, is_replica=False)
+        storage.put("r", 2, point=20, is_replica=True)
+        assert [item.key for item in storage.primary_items()] == ["p"]
+        assert [item.key for item in storage.replica_items()] == ["r"]
+
+    def test_promote_to_primary(self):
+        storage = NodeStorage(owner=1)
+        storage.put("r", 2, point=20, is_replica=True)
+        assert storage.promote_to_primary("r")
+        assert not storage.get("r").is_replica
+        assert not storage.promote_to_primary("missing")
+
+    def test_len_and_keys(self):
+        storage = NodeStorage(owner=1)
+        storage.put("a", 1, point=1)
+        storage.put("b", 2, point=2)
+        assert len(storage) == 2
+        assert set(storage.keys()) == {"a", "b"}
+
+
+class TestSuccessorReplication:
+    def test_replicas_are_closest_nodes(self):
+        from repro.core.graph import OverlayGraph
+
+        space = RingMetric(64)
+        graph = OverlayGraph(space)
+        for label in range(0, 64, 8):
+            graph.add_node(label)
+        policy = SuccessorReplication(degree=2)
+        holders = policy.replica_holders(graph, space, point=9, primary=8)
+        assert len(holders) == 2
+        assert 8 not in holders
+        assert set(holders) <= {0, 16}
+
+    def test_zero_degree(self):
+        from repro.core.graph import OverlayGraph
+
+        space = RingMetric(64)
+        graph = OverlayGraph(space)
+        graph.add_node(0)
+        graph.add_node(8)
+        assert SuccessorReplication(degree=0).replica_holders(graph, space, 4, 0) == []
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessorReplication(degree=-1)
+
+
+@pytest.fixture
+def dht() -> DistributedHashTable:
+    table = DistributedHashTable(DhtConfig(space_size=256, seed=3))
+    table.join_many(range(0, 256, 4))
+    return table
+
+
+class TestDistributedHashTable:
+    def test_put_get_roundtrip(self, dht):
+        result = dht.put("language", "python", origin=0)
+        assert result.ok
+        read = dht.get("language", origin=128)
+        assert read.ok
+        assert read.value == "python"
+
+    def test_get_missing_key(self, dht):
+        assert not dht.get("missing", origin=0).ok
+
+    def test_put_overwrites(self, dht):
+        dht.put("k", "v1", origin=0)
+        dht.put("k", "v2", origin=4)
+        assert dht.get("k", origin=8).value == "v2"
+
+    def test_delete(self, dht):
+        dht.put("k", "v", origin=0)
+        assert dht.delete("k", origin=0).ok
+        assert not dht.get("k", origin=0).ok
+        assert not dht.delete("k", origin=0).ok
+
+    def test_operation_reports_message_cost(self, dht):
+        result = dht.put("costly", "value", origin=0)
+        assert result.messages >= 0
+        read = dht.get("costly", origin=200)
+        assert read.messages >= 1
+
+    def test_survives_primary_crash_with_replication(self, dht):
+        put_result = dht.put("durable", "data", origin=0)
+        primary = put_result.holder
+        dht.crash(primary)
+        read = dht.get("durable", origin=0)
+        assert read.ok
+        assert read.value == "data"
+        assert read.holder != primary
+
+    def test_repair_promotes_replicas(self, dht):
+        put_result = dht.put("promoted", "data", origin=0)
+        primary = put_result.holder
+        dht.crash(primary)
+        rehomed = dht.repair()
+        assert rehomed >= 0
+        assert dht.get("promoted", origin=0).ok
+
+    def test_graceful_leave_hands_off_keys(self, dht):
+        put_result = dht.put("handoff", "data", origin=0)
+        primary = put_result.holder
+        dht.leave(primary)
+        read = dht.get("handoff", origin=0)
+        assert read.ok
+        assert read.value == "data"
+
+    def test_join_transfers_responsibility(self, dht):
+        put_result = dht.put("transfer", "data", origin=0)
+        point = dht.hasher.hash_key("transfer")
+        if not dht.graph.has_node(point):
+            dht.join(point)
+            read = dht.get("transfer", origin=0)
+            assert read.ok
+            assert read.holder == point
+
+    def test_many_keys(self, dht):
+        for index in range(50):
+            assert dht.put(f"key-{index}", index, origin=0).ok
+        for index in range(50):
+            assert dht.get(f"key-{index}", origin=100).value == index
+
+    def test_empty_dht_raises(self):
+        empty = DistributedHashTable(DhtConfig(space_size=64, seed=0))
+        with pytest.raises(RuntimeError):
+            empty.put("k", "v")
+
+    def test_config_defaults(self):
+        config = DhtConfig(space_size=1024)
+        assert config.links_per_node == 10
+        with pytest.raises(ValueError):
+            DhtConfig(space_size=0)
+
+    def test_leave_unknown_raises(self, dht):
+        with pytest.raises(ValueError):
+            dht.leave(3)

@@ -1,0 +1,185 @@
+"""Unit tests for the link distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    DeterministicBaseBOffsets,
+    InversePowerLawDistribution,
+    KleinbergGridDistribution,
+    UniformLinkDistribution,
+    harmonic_number,
+)
+
+
+class TestHarmonicNumber:
+    def test_small_values_exact(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_large_values_close_to_log(self):
+        n = 100_000
+        assert harmonic_number(n) == pytest.approx(np.log(n) + 0.5772156649, rel=1e-4)
+
+    def test_monotone(self):
+        values = [harmonic_number(n) for n in range(1, 200)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestInversePowerLaw:
+    def test_link_probability_normalised(self):
+        distribution = InversePowerLawDistribution(128)
+        total = sum(distribution.link_probability(d) for d in range(1, 65))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreases_with_distance(self):
+        distribution = InversePowerLawDistribution(256)
+        assert distribution.link_probability(1) > distribution.link_probability(10)
+        assert distribution.link_probability(10) > distribution.link_probability(100)
+
+    def test_probability_zero_outside_range(self):
+        distribution = InversePowerLawDistribution(100)
+        assert distribution.link_probability(0) == 0.0
+        assert distribution.link_probability(51) == 0.0
+
+    def test_sampling_excludes_self(self):
+        distribution = InversePowerLawDistribution(64)
+        rng = np.random.default_rng(0)
+        samples = distribution.sample_neighbors(10, 500, rng)
+        assert len(samples) == 500
+        assert 10 not in samples
+        assert all(0 <= s < 64 for s in samples)
+
+    def test_sampling_respects_presence_mask(self):
+        distribution = InversePowerLawDistribution(64)
+        rng = np.random.default_rng(1)
+        present = np.zeros(64, dtype=bool)
+        present[[1, 2, 3, 60]] = True
+        samples = distribution.sample_neighbors(0, 200, rng, present=present)
+        assert set(samples) <= {1, 2, 3, 60}
+
+    def test_sampling_empirically_favours_short_links(self):
+        n = 512
+        distribution = InversePowerLawDistribution(n)
+        rng = np.random.default_rng(2)
+        samples = distribution.sample_neighbors(0, 5000, rng)
+        distances = [min(s, n - s) for s in samples]
+        short = sum(1 for d in distances if d <= 8)
+        long = sum(1 for d in distances if d > 64)
+        assert short > long
+
+    def test_zero_count_returns_empty(self):
+        distribution = InversePowerLawDistribution(64)
+        rng = np.random.default_rng(0)
+        assert distribution.sample_neighbors(0, 0, rng) == []
+
+    def test_normalization_constant_close_to_2_harmonic(self):
+        n = 1000
+        distribution = InversePowerLawDistribution(n)
+        assert distribution.normalization_constant() == pytest.approx(
+            2 * harmonic_number(n // 2), rel=0.01
+        )
+
+    def test_requires_at_least_two_points(self):
+        with pytest.raises(ValueError):
+            InversePowerLawDistribution(1)
+
+    def test_exponent_zero_is_uniform_over_distances(self):
+        distribution = InversePowerLawDistribution(100, exponent=0.0)
+        assert distribution.link_probability(1) == pytest.approx(
+            distribution.link_probability(40)
+        )
+
+
+class TestUniformDistribution:
+    def test_probability_sums_to_one(self):
+        distribution = UniformLinkDistribution(64)
+        total = sum(distribution.link_probability(d) for d in range(1, 33))
+        assert total == pytest.approx(1.0)
+
+    def test_sampling_excludes_self(self):
+        distribution = UniformLinkDistribution(32)
+        rng = np.random.default_rng(3)
+        samples = distribution.sample_neighbors(5, 300, rng)
+        assert 5 not in samples
+
+    def test_presence_mask(self):
+        distribution = UniformLinkDistribution(32)
+        rng = np.random.default_rng(3)
+        present = np.zeros(32, dtype=bool)
+        present[[7, 9]] = True
+        samples = distribution.sample_neighbors(0, 100, rng, present=present)
+        assert set(samples) <= {7, 9}
+
+
+class TestDeterministicBaseB:
+    def test_full_variant_offsets(self):
+        scheme = DeterministicBaseBOffsets(n=16, base=2, variant="full")
+        assert scheme.offsets() == [1, 2, 4, 8]
+
+    def test_full_variant_base4(self):
+        scheme = DeterministicBaseBOffsets(n=64, base=4, variant="full")
+        assert scheme.offsets() == [1, 2, 3, 4, 8, 12, 16, 32, 48]
+
+    def test_powers_variant(self):
+        scheme = DeterministicBaseBOffsets(n=100, base=3, variant="powers")
+        assert scheme.offsets() == [1, 3, 9, 27, 81]
+
+    def test_expected_link_count_bidirectional(self):
+        scheme = DeterministicBaseBOffsets(n=16, base=2, variant="full")
+        assert scheme.expected_link_count() == 8
+
+    def test_neighbors_are_deterministic_and_symmetric_offsets(self):
+        scheme = DeterministicBaseBOffsets(n=64, base=2, variant="powers")
+        rng = np.random.default_rng(0)
+        neighbors = scheme.sample_neighbors(10, 0, rng)
+        assert (10 + 1) % 64 in neighbors
+        assert (10 - 1) % 64 in neighbors
+        assert (10 + 32) % 64 in neighbors
+
+    def test_presence_mask_skips_absent(self):
+        scheme = DeterministicBaseBOffsets(n=32, base=2, variant="powers")
+        rng = np.random.default_rng(0)
+        present = np.ones(32, dtype=bool)
+        present[11] = False
+        neighbors = scheme.sample_neighbors(10, 0, rng, present=present)
+        assert 11 not in neighbors
+
+    def test_invalid_base_and_variant(self):
+        with pytest.raises(ValueError):
+            DeterministicBaseBOffsets(n=16, base=1)
+        with pytest.raises(ValueError):
+            DeterministicBaseBOffsets(n=16, base=2, variant="bogus")
+
+    def test_link_probability_not_defined(self):
+        scheme = DeterministicBaseBOffsets(n=16, base=2)
+        with pytest.raises(NotImplementedError):
+            scheme.link_probability(1)
+
+
+class TestKleinbergGrid:
+    def test_label_point_roundtrip(self):
+        distribution = KleinbergGridDistribution(side=8)
+        for label in [0, 7, 8, 63]:
+            assert distribution.point_to_label(distribution.label_to_point(label)) == label
+
+    def test_sampling_excludes_self_and_in_range(self):
+        distribution = KleinbergGridDistribution(side=8)
+        rng = np.random.default_rng(5)
+        samples = distribution.sample_neighbors(20, 200, rng)
+        assert 20 not in samples
+        assert all(0 <= s < 64 for s in samples)
+
+    def test_link_probability_decreasing(self):
+        distribution = KleinbergGridDistribution(side=16)
+        assert distribution.link_probability(1) > distribution.link_probability(4)
+        assert distribution.link_probability(4) > distribution.link_probability(12)
+
+    def test_link_probability_sums_to_one(self):
+        distribution = KleinbergGridDistribution(side=8)
+        total = sum(distribution.link_probability(d) for d in range(1, 9))
+        assert total == pytest.approx(1.0)

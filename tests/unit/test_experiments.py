@@ -1,0 +1,192 @@
+"""Unit tests for the experiment harness (small, fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import RecoveryStrategy
+from repro.experiments.ablations import (
+    run_backtrack_depth_ablation,
+    run_byzantine_experiment,
+    run_exponent_ablation,
+    run_replacement_ablation,
+)
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.figure5 import empirical_link_distribution, run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.runner import ExperimentTable, format_table
+from repro.experiments.table1 import measure_mean_hops, run_table1
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("a") == [1, 3]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_add_row_arity_checked(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_text_contains_title_and_values(self):
+        table = ExperimentTable(title="My Table", columns=["x"], notes="note!")
+        table.add_row(3.14159)
+        text = table.to_text()
+        assert "My Table" in text
+        assert "3.142" in text
+        assert "note!" in text
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col"], [["value"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines) >= 4
+
+
+class TestFigure5:
+    def test_empirical_distribution_normalised(self):
+        histogram = empirical_link_distribution([1, 1, 2, 5], 16)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram[0] == pytest.approx(0.5)
+
+    def test_empirical_distribution_empty(self):
+        histogram = empirical_link_distribution([], 16)
+        assert histogram.sum() == 0.0
+
+    def test_run_small(self):
+        result = run_figure5(nodes=128, networks=2, links_per_node=4, seed=0)
+        assert result.derived.sum() == pytest.approx(1.0, abs=1e-6)
+        assert result.ideal.sum() == pytest.approx(1.0, abs=1e-6)
+        assert result.max_absolute_error < 0.25
+        assert 0 <= result.total_variation <= 1
+        table = result.to_table()
+        assert "Figure 5" in table.to_text()
+
+    def test_derived_tracks_ideal_shape(self):
+        result = run_figure5(nodes=256, networks=3, links_per_node=6, seed=1)
+        # Short links should carry much more mass than long links, as in the
+        # ideal 1/d law.
+        assert result.derived[0] > result.derived[50]
+
+
+class TestFigure6:
+    def test_run_small(self):
+        result = run_figure6(
+            nodes=256,
+            searches_per_point=40,
+            failure_levels=[0.0, 0.4],
+            seed=0,
+        )
+        assert result.failure_levels == [0.0, 0.4]
+        for strategy in ("terminate", "random-reroute", "backtrack"):
+            assert len(result.failed_fraction[strategy]) == 2
+            # No failures at level 0.
+            assert result.failed_fraction[strategy][0] == 0.0
+        table_a, table_b = result.to_tables()
+        assert "6(a)" in table_a.title and "6(b)" in table_b.title
+
+    def test_backtracking_not_worse_than_terminate(self):
+        result = run_figure6(
+            nodes=512,
+            searches_per_point=80,
+            failure_levels=[0.5],
+            seed=1,
+        )
+        assert (
+            result.failed_fraction["backtrack"][0]
+            <= result.failed_fraction["terminate"][0]
+        )
+
+
+class TestFigure7:
+    def test_run_small(self):
+        result = run_figure7(
+            nodes=128,
+            searches_per_point=30,
+            iterations=1,
+            failure_levels=[0.0, 0.5],
+            seed=0,
+        )
+        assert len(result.ideal_failed_fraction) == 2
+        assert len(result.constructed_failed_fraction) == 2
+        assert result.ideal_failed_fraction[0] == 0.0
+        assert result.constructed_failed_fraction[0] == 0.0
+        assert "Figure 7" in result.to_table().to_text()
+
+
+class TestTable1:
+    def test_measure_mean_hops(self, ideal_network_256):
+        hops, failed = measure_mean_hops(ideal_network_256.graph, 30, seed=0)
+        assert hops > 0
+        assert failed == 0.0
+
+    def test_run_small(self):
+        result = run_table1(
+            sizes=[64, 128],
+            link_counts=[1, 4],
+            bases=[2, 4],
+            probabilities=[1.0, 0.5],
+            searches=25,
+            seed=0,
+        )
+        tables = result.tables()
+        assert len(tables) == 7
+        text = result.to_text()
+        assert "Table 1 row 1" in text
+        # Hops should decrease when links increase (row 2 sweep).
+        polylog_hops = result.polylog_links.column("measured_hops")
+        assert polylog_hops[-1] <= polylog_hops[0]
+
+    def test_single_link_scaling_increases_with_n(self):
+        result = run_table1(
+            sizes=[64, 512],
+            link_counts=[1],
+            bases=[2],
+            probabilities=[1.0],
+            searches=40,
+            seed=1,
+        )
+        hops = result.single_link.column("measured_hops")
+        assert hops[1] > hops[0]
+
+
+class TestAblations:
+    def test_replacement_ablation(self):
+        table = run_replacement_ablation(nodes=128, networks=1, links_per_node=4, seed=0)
+        policies = table.column("policy")
+        assert set(policies) == {"inverse-distance", "oldest-link", "never-replace"}
+
+    def test_backtrack_depth_ablation(self):
+        table = run_backtrack_depth_ablation(
+            nodes=256, depths=[1, 5], failure_level=0.4, searches=40, seed=0
+        )
+        fractions = table.column("failed_fraction")
+        assert len(fractions) == 2
+        assert fractions[1] <= fractions[0] + 0.15
+
+    def test_exponent_ablation(self):
+        table = run_exponent_ablation(nodes=256, exponents=[1.0, 2.0], searches=40, seed=0)
+        assert len(table.rows) == 2
+
+    def test_byzantine_experiment(self):
+        table = run_byzantine_experiment(
+            nodes=256, fractions=[0.0, 0.2], redundancy=2, searches=30, seed=0
+        )
+        plain = table.column("plain_failed_fraction")
+        redundant = table.column("redundant_failed_fraction")
+        assert plain[0] == 0.0 and redundant[0] == 0.0
+        assert redundant[1] <= plain[1]
+
+
+class TestBaselineComparison:
+    def test_run_small(self):
+        table = run_baseline_comparison(bits=6, searches=30, failure_level=0.2, seed=0)
+        systems = table.column("system")
+        assert len(systems) == 5
+        assert any("chord" in s for s in systems)
+        healthy = table.column("failed_fraction")
+        assert all(fraction == 0.0 for fraction in healthy)

@@ -1,0 +1,173 @@
+"""Unit tests for the failure models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.failures import (
+    ByzantineBehavior,
+    ByzantineModel,
+    LinkFailureModel,
+    NodeFailureModel,
+    TargetedNodeFailureModel,
+    failure_sweep_levels,
+)
+
+
+class TestLinkFailureModel:
+    def test_all_links_survive_at_p1(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = LinkFailureModel(1.0, seed=0)
+        summary = model.apply(graph)
+        assert summary["failed_links"] == 0
+
+    def test_all_links_fail_at_p0(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = LinkFailureModel(0.0, seed=0)
+        summary = model.apply(graph)
+        assert summary["failed_links"] == summary["total_long_links"]
+        model.repair(graph)
+
+    def test_expected_fraction_fails(self, ideal_network_1024):
+        graph = ideal_network_1024.graph
+        model = LinkFailureModel(0.7, seed=1)
+        summary = model.apply(graph)
+        fraction_alive = 1 - summary["failed_links"] / summary["total_long_links"]
+        assert 0.65 < fraction_alive < 0.75
+        model.repair(graph)
+
+    def test_short_links_untouched(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = LinkFailureModel(0.0, seed=2)
+        model.apply(graph)
+        node = graph.node(0)
+        assert node.left is not None and node.right is not None
+        model.repair(graph)
+
+    def test_repair_restores_links(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        before = graph.total_long_links(only_alive=True)
+        model = LinkFailureModel(0.5, seed=3)
+        model.apply(graph)
+        assert graph.total_long_links(only_alive=True) < before
+        model.repair(graph)
+        assert graph.total_long_links(only_alive=True) == before
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            LinkFailureModel(1.5)
+
+
+class TestNodeFailureModel:
+    def test_fraction_mode_exact_count(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = NodeFailureModel(0.25, seed=0)
+        summary = model.apply(graph)
+        assert summary["failed_nodes"] == round(0.25 * 256)
+        model.repair(graph)
+
+    def test_probability_mode_approximate(self, ideal_network_1024):
+        graph = ideal_network_1024.graph
+        model = NodeFailureModel(0.3, mode="probability", seed=1)
+        summary = model.apply(graph)
+        assert 0.2 < summary["failed_nodes"] / 1024 < 0.4
+        model.repair(graph)
+
+    def test_protect_set_respected(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        protected = frozenset({0, 1, 2, 3})
+        model = NodeFailureModel(0.9, seed=2, protect=protected)
+        model.apply(graph)
+        for label in protected:
+            assert graph.is_alive(label)
+        model.repair(graph)
+
+    def test_repair_revives(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = NodeFailureModel(0.5, seed=3)
+        model.apply(graph)
+        assert graph.alive_count() < 256
+        model.repair(graph)
+        assert graph.alive_count() == 256
+
+    def test_failed_labels_accessor(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = NodeFailureModel(0.1, seed=4)
+        summary = model.apply(graph)
+        assert len(model.failed_labels) == summary["failed_nodes"]
+        model.repair(graph)
+
+    def test_zero_level_fails_nothing(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = NodeFailureModel(0.0, seed=5)
+        summary = model.apply(graph)
+        assert summary["failed_nodes"] == 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            NodeFailureModel(0.5, mode="bogus")
+
+    def test_deterministic_given_seed(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        first = NodeFailureModel(0.3, seed=7)
+        first.apply(graph)
+        labels_first = set(first.failed_labels)
+        first.repair(graph)
+        second = NodeFailureModel(0.3, seed=7)
+        second.apply(graph)
+        labels_second = set(second.failed_labels)
+        second.repair(graph)
+        assert labels_first == labels_second
+
+
+class TestTargetedFailureModel:
+    def test_fails_exactly_the_victims(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = TargetedNodeFailureModel(victims=(1, 2, 3))
+        summary = model.apply(graph)
+        assert summary["failed_nodes"] == 3
+        assert not graph.is_alive(2)
+        model.repair(graph)
+        assert graph.is_alive(2)
+
+    def test_unknown_victims_skipped(self, small_graph):
+        model = TargetedNodeFailureModel(victims=(1000,))
+        summary = model.apply(small_graph)
+        assert summary["failed_nodes"] == 0
+
+
+class TestByzantineModel:
+    def test_marks_fraction(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = ByzantineModel(0.1, seed=0)
+        summary = model.apply(graph)
+        assert summary["compromised_nodes"] == round(0.1 * 256)
+        assert all(graph.is_alive(label) for label in model.compromised)
+        model.repair(graph)
+        assert not model.compromised
+
+    def test_protect_respected(self, ideal_network_256):
+        graph = ideal_network_256.graph
+        model = ByzantineModel(0.5, seed=1, protect=frozenset({0}))
+        model.apply(graph)
+        assert not model.is_compromised(0)
+        model.repair(graph)
+
+    def test_invalid_behavior(self):
+        with pytest.raises(ValueError):
+            ByzantineModel(0.1, behavior="explode")
+
+    def test_behaviors_enumerated(self):
+        assert set(ByzantineBehavior.ALL) == {"drop", "misroute", "random"}
+
+
+class TestFailureSweepLevels:
+    def test_default_sweep(self):
+        levels = failure_sweep_levels()
+        assert levels[0] == 0.0
+        assert levels[-1] == 0.8
+        assert len(levels) == 9
+
+    def test_custom_sweep(self):
+        levels = failure_sweep_levels(maximum=0.9, step=0.3)
+        assert levels == [0.0, 0.3, 0.6, 0.9]

@@ -1,0 +1,103 @@
+"""Unit tests for self-maintenance and repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import HeuristicConstruction
+from repro.core.maintenance import MaintenanceDaemon, MaintenanceReport, prune_dead_links
+from repro.core.metric import RingMetric
+from repro.core.routing import GreedyRouter
+
+
+@pytest.fixture
+def construction() -> HeuristicConstruction:
+    c = HeuristicConstruction(space=RingMetric(256), links_per_node=4, seed=0)
+    c.add_points(list(range(0, 256, 4)))
+    return c
+
+
+class TestPruneDeadLinks:
+    def test_removes_links_to_dead_nodes(self, construction):
+        graph = construction.graph
+        graph.fail_node(128)
+        removed = prune_dead_links(graph)
+        assert removed >= 0
+        for node in graph.nodes():
+            assert 128 not in node.long_link_targets(only_alive=False)
+
+    def test_noop_on_healthy_graph(self, construction):
+        assert prune_dead_links(construction.graph) == 0
+
+
+class TestMaintenanceReport:
+    def test_merge_sums_fields(self):
+        first = MaintenanceReport(dead_links_dropped=1, links_regenerated=2, messages=3)
+        second = MaintenanceReport(dead_links_dropped=4, ring_repairs=5, messages=6)
+        merged = first.merge(second)
+        assert merged.dead_links_dropped == 5
+        assert merged.links_regenerated == 2
+        assert merged.ring_repairs == 5
+        assert merged.messages == 9
+
+
+class TestMaintenanceDaemon:
+    def test_repair_node_drops_and_regenerates(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        # Find a node with at least one long link and kill one of its targets.
+        holder = next(
+            node.label for node in graph.nodes() if node.long_links
+        )
+        victim = graph.node(holder).long_links[0].target
+        graph.fail_node(victim)
+        report = daemon.repair_node(holder)
+        assert report.dead_links_dropped >= 1
+        assert victim not in graph.node(holder).long_link_targets(only_alive=False)
+
+    def test_repair_all_restitches_ring_around_dead_nodes(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        graph.fail_node(8)
+        report = daemon.repair_all()
+        assert report.ring_repairs >= 1
+        assert graph.node(4).right == 12
+        assert graph.node(12).left == 4
+
+    def test_repair_without_regeneration(self, construction):
+        daemon = MaintenanceDaemon(construction, regenerate=False)
+        graph = construction.graph
+        holder = next(node.label for node in graph.nodes() if node.long_links)
+        victim = graph.node(holder).long_links[0].target
+        graph.fail_node(victim)
+        report = daemon.repair_node(holder)
+        assert report.links_regenerated == 0
+
+    def test_handle_departure(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        # Pick a node that is the target of at least one long link.
+        in_degrees = graph.in_degree_counts()
+        departing = max(in_degrees, key=in_degrees.get)
+        report = daemon.handle_departure(departing)
+        assert not graph.has_node(departing)
+        assert report.ring_repairs >= 1
+        assert daemon.last_report is report
+
+    def test_repair_keeps_network_routable(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        for victim in [16, 64, 128, 192]:
+            graph.fail_node(victim)
+        daemon.repair_all()
+        live = graph.labels(only_alive=True)
+        router = GreedyRouter(graph)
+        result = router.route(live[0], live[len(live) // 2])
+        assert result.success
+
+    def test_repair_node_skips_dead_holder(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        construction.graph.fail_node(0)
+        report = daemon.repair_node(0)
+        assert report.dead_links_dropped == 0
+        assert report.links_regenerated == 0

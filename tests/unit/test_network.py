@@ -1,0 +1,127 @@
+"""Unit tests for the P2PNetwork facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import P2PNetwork
+from repro.core.routing import RecoveryStrategy
+
+
+@pytest.fixture
+def network() -> P2PNetwork:
+    net = P2PNetwork(space_size=512, seed=1)
+    net.join_many(list(range(0, 512, 8)))
+    return net
+
+
+class TestMembership:
+    def test_join_many(self, network):
+        assert len(network.members()) == 64
+
+    def test_join_duplicate_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.join(0)
+
+    def test_join_out_of_space_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.join(1000)
+
+    def test_leave_removes_member(self, network):
+        network.leave(8)
+        assert 8 not in network.members()
+
+    def test_leave_unknown_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.leave(3)
+
+    def test_crash_marks_dead(self, network):
+        network.crash(16)
+        assert 16 not in network.members()
+        assert network.graph.has_node(16)
+
+    def test_statistics_counters(self, network):
+        network.crash(16)
+        network.leave(24)
+        assert network.statistics.crashes == 1
+        assert network.statistics.leaves == 1
+        assert network.statistics.joins == 64
+        assert isinstance(network.statistics.as_dict(), dict)
+
+
+class TestPublishAndLookup:
+    def test_publish_then_lookup(self, network):
+        holder = network.publish("video.mp4", value=b"data", owner=0)
+        assert holder is not None
+        outcome = network.lookup("video.mp4", origin=256)
+        assert outcome.found
+        assert outcome.value == b"data"
+        assert outcome.responsible == holder
+
+    def test_lookup_missing_key(self, network):
+        outcome = network.lookup("never-published", origin=0)
+        assert not outcome.found
+        assert outcome.value is None
+
+    def test_publish_routes_to_closest_node(self, network):
+        holder = network.publish("doc", value=1, owner=0)
+        point = network.embedding.point_of("doc")
+        expected = network.responsible_node(point)
+        assert holder == expected
+
+    def test_lookup_random_origin(self, network):
+        network.publish("k", value="v", owner=0)
+        outcome = network.lookup("k")
+        assert outcome.found
+
+    def test_stored_keys(self, network):
+        holder = network.publish("a-key", value=3, owner=0)
+        assert "a-key" in network.stored_keys(holder)
+
+    def test_lookup_counts_statistics(self, network):
+        network.publish("x", value=1, owner=0)
+        before = network.statistics.lookups
+        network.lookup("x", origin=0)
+        assert network.statistics.lookups == before + 1
+        assert network.statistics.successful_lookups >= 1
+
+    def test_rebalance_on_join(self, network):
+        holder = network.publish("rebalance-me", value=9, owner=0)
+        point = network.embedding.point_of("rebalance-me")
+        # Join a node exactly at the key's point: it must take over the key.
+        if not network.graph.has_node(point):
+            network.join(point)
+            assert "rebalance-me" in network.stored_keys(point)
+            assert "rebalance-me" not in network.stored_keys(holder) or holder == point
+
+
+class TestFailuresAndRepair:
+    def test_lookup_survives_crashes_of_other_nodes(self, network):
+        holder = network.publish("persistent", value=1, owner=0)
+        for victim in network.members():
+            if victim not in (holder, 0) and len(network.members()) > 40:
+                network.crash(victim)
+                break
+        outcome = network.lookup("persistent", origin=0)
+        assert outcome.found
+
+    def test_repair_removes_crashed_nodes(self, network):
+        network.crash(16)
+        network.repair()
+        assert not network.graph.has_node(16)
+        # The network remains routable after repair.
+        outcome = network.publish("after-repair", value=2, owner=0)
+        assert outcome is not None
+
+    def test_empty_network_operations_raise(self):
+        empty = P2PNetwork(space_size=64, seed=0)
+        with pytest.raises(RuntimeError):
+            empty.publish("k", value=1)
+        with pytest.raises(RuntimeError):
+            empty.lookup("k")
+
+    def test_recovery_strategy_configurable(self):
+        net = P2PNetwork(space_size=128, recovery=RecoveryStrategy.TERMINATE, seed=2)
+        net.join_many(range(0, 128, 4))
+        net.publish("k", value=1, owner=0)
+        assert net.lookup("k", origin=64).found

@@ -1,0 +1,106 @@
+"""Unit tests for the shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RandomSource, derive_seed, spawn_rng
+from repro.util.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+    ensure_type,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_non_negative(self):
+        for seed in range(20):
+            assert derive_seed(seed, "label") >= 0
+
+
+class TestSpawnRng:
+    def test_independent_streams(self):
+        first = spawn_rng(0, "stream-a").random(100)
+        second = spawn_rng(0, "stream-b").random(100)
+        assert not np.allclose(first, second)
+
+    def test_reproducible(self):
+        assert np.allclose(spawn_rng(7, "x").random(10), spawn_rng(7, "x").random(10))
+
+
+class TestRandomSource:
+    def test_stream_caching(self):
+        source = RandomSource(seed=3)
+        assert source.stream("a") is source.stream("a")
+        assert source.stream("a") is not source.stream("b")
+
+    def test_child_is_independent(self):
+        source = RandomSource(seed=3)
+        child = source.child("sub")
+        assert child.seed != source.seed
+
+    def test_sampling_helpers(self):
+        source = RandomSource(seed=5)
+        values = source.integers("ints", 0, 10, size=100)
+        assert all(0 <= v < 10 for v in values)
+        floats = source.random("floats", size=50)
+        assert all(0 <= f < 1 for f in floats)
+        assert source.poisson("poisson", 3.0) >= 0
+        choice = source.choice("choice", [1, 2, 3])
+        assert choice in (1, 2, 3)
+        data = [1, 2, 3, 4, 5]
+        source.shuffle("shuffle", data)
+        assert sorted(data) == [1, 2, 3, 4, 5]
+
+
+class TestValidation:
+    def test_ensure_positive(self):
+        assert ensure_positive(1, "x") == 1
+        with pytest.raises(ValueError):
+            ensure_positive(0, "x")
+        with pytest.raises(ValueError):
+            ensure_positive(-1, "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.5, "p") == 0.5
+        assert ensure_probability(0, "p") == 0.0
+        assert ensure_probability(1, "p") == 1.0
+        with pytest.raises(ValueError):
+            ensure_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            ensure_probability(-0.01, "p")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(5, "x", 0, 10) == 5
+        with pytest.raises(ValueError):
+            ensure_in_range(11, "x", 0, 10)
+
+    def test_ensure_type(self):
+        assert ensure_type(3, "x", int) == 3
+        assert ensure_type("s", "x", (int, str)) == "s"
+        with pytest.raises(TypeError):
+            ensure_type(3.5, "x", int)
+
+    def test_error_messages_name_the_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            ensure_positive(-1, "my_param")
+        with pytest.raises(TypeError, match="my_param"):
+            ensure_type(1, "my_param", str)
