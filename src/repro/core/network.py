@@ -335,6 +335,42 @@ class P2PNetwork:
         return frozenset(self._stored.get(address, {}))
 
     # ------------------------------------------------------------------ #
+    # Fastpath compilation
+    # ------------------------------------------------------------------ #
+
+    def compile_fastpath(self, recovery: RecoveryStrategy | None = None):
+        """Compile the current overlay into a batched fastpath router.
+
+        Returns a :class:`~repro.fastpath.BatchGreedyRouter` over an immutable
+        array snapshot of the overlay as it stands *right now* — membership
+        changes after compilation are not reflected; compile again after a
+        batch of joins/leaves/crashes (compilation is cheap relative to the
+        traffic it serves).  The router inherits this network's routing mode
+        and ``strict_best_neighbor`` setting.
+
+        Parameters
+        ----------
+        recovery:
+            Recovery strategy for the batched router; defaults to this
+            network's configured strategy.  The fastpath engine implements
+            only :attr:`~repro.core.routing.RecoveryStrategy.TERMINATE`; for
+            any other strategy this raises :class:`NotImplementedError` —
+            pass ``recovery=RecoveryStrategy.TERMINATE`` explicitly, or keep
+            using the scalar per-query path (:meth:`lookup`), which supports
+            every strategy.
+        """
+        # Imported here: repro.fastpath depends on repro.core, so a module-level
+        # import would create a cycle through the package __init__.
+        from repro.fastpath import BatchGreedyRouter, compile_snapshot
+
+        return BatchGreedyRouter(
+            snapshot=compile_snapshot(self.graph),
+            mode=self.routing_mode,
+            recovery=self.recovery if recovery is None else recovery,
+            strict_best_neighbor=self.strict_best_neighbor,
+        )
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 

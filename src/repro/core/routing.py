@@ -31,6 +31,22 @@ node commits to its closest neighbour before discovering whether it is alive
 and gives up on that hop if it is dead ("once a node chooses its best
 neighbour, it does not send the message to any other link"); the ablation
 experiments quantify the difference.
+
+Relationship to the fastpath engine (equivalence contract)
+----------------------------------------------------------
+This module is the **reference implementation** covering every model the
+paper analyses: both routing modes (Sections 2 and 4), all three Section-6
+recovery strategies, both neighbour-knowledge regimes, and arbitrary
+node/link failures.  :mod:`repro.fastpath` provides a batched array engine
+for the statistically heavy experiments; within its envelope — two-sided or
+one-sided routing, node failures, **terminate** recovery only — it is
+hop-for-hop identical to :class:`GreedyRouter` (same candidate order, same
+tie-breaks, same hop limit), which
+``tests/property/test_property_fastpath.py`` asserts path-for-path.  The
+random re-route and backtracking strategies carry per-query mutable state
+and remain exclusive to this scalar router; the experiment harness
+(:func:`repro.experiments.runner.route_pairs_with_engine`) falls back here
+automatically whenever a configuration is outside the fastpath envelope.
 """
 
 from __future__ import annotations

@@ -4,21 +4,26 @@ Run any of the paper's experiments from a shell::
 
     python -m repro.experiments.cli figure5 --nodes 4096 --networks 5
     python -m repro.experiments.cli figure6 --nodes 8192 --searches 500
-    python -m repro.experiments.cli figure7
+    python -m repro.experiments.cli figure7 --engine fastpath
     python -m repro.experiments.cli table1
     python -m repro.experiments.cli ablations
     python -m repro.experiments.cli baselines --bits 12
+    python -m repro.experiments.cli route-bench --nodes 10000 --queries 10000
     python -m repro.experiments.cli all
 
 Each command prints the regenerated series as aligned text tables (the same
 output the benchmarks produce) so results can be diffed or piped into other
-tools.
+tools.  The routing experiments accept ``--engine {object,fastpath}`` to pick
+between the scalar per-query router and the batched array engine
+(:mod:`repro.fastpath`); ``route-bench`` measures the raw throughput gap
+between the two.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.experiments.ablations import (
@@ -27,6 +32,7 @@ from repro.experiments.ablations import (
     run_exponent_ablation,
     run_replacement_ablation,
 )
+from repro.core.routing import RecoveryStrategy, RoutingMode
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
@@ -50,17 +56,57 @@ def build_parser() -> argparse.ArgumentParser:
     figure5.add_argument("--links", type=int, default=None)
     figure5.add_argument("--networks", type=int, default=3)
 
+    def add_engine_option(subparser) -> None:
+        subparser.add_argument(
+            "--engine",
+            choices=("object", "fastpath"),
+            default="object",
+            help="routing engine: scalar object router or batched fastpath "
+            "(fastpath applies to terminate-recovery measurements; other "
+            "strategies fall back to the object engine)",
+        )
+
     figure6 = subparsers.add_parser("figure6", help="failed searches / delivery time vs node failures")
     figure6.add_argument("--nodes", type=int, default=1 << 12)
     figure6.add_argument("--searches", type=int, default=250)
+    add_engine_option(figure6)
 
     figure7 = subparsers.add_parser("figure7", help="constructed vs ideal network under failures")
     figure7.add_argument("--nodes", type=int, default=1 << 11)
     figure7.add_argument("--searches", type=int, default=200)
     figure7.add_argument("--iterations", type=int, default=2)
+    add_engine_option(figure7)
 
     table1 = subparsers.add_parser("table1", help="measured delivery time vs Table-1 bound shapes")
     table1.add_argument("--searches", type=int, default=150)
+    table1.add_argument(
+        "--recovery",
+        choices=[strategy.value for strategy in RecoveryStrategy],
+        default=RecoveryStrategy.BACKTRACK.value,
+        help="recovery strategy for every Table-1 measurement",
+    )
+    add_engine_option(table1)
+
+    bench = subparsers.add_parser(
+        "route-bench",
+        help="route N random queries through a chosen engine; print throughput",
+    )
+    bench.add_argument("--nodes", type=int, default=10_000)
+    bench.add_argument("--queries", type=int, default=10_000)
+    bench.add_argument("--links", type=int, default=None)
+    bench.add_argument(
+        "--mode",
+        choices=[mode.value for mode in RoutingMode],
+        default=RoutingMode.TWO_SIDED.value,
+        help="greedy routing mode",
+    )
+    bench.add_argument(
+        "--fail",
+        type=float,
+        default=0.0,
+        help="fraction of nodes to fail before routing",
+    )
+    add_engine_option(bench)
 
     subparsers.add_parser("ablations", help="replacement-policy, backtrack-depth, exponent, Byzantine ablations")
 
@@ -80,7 +126,12 @@ def _run_figure5(args) -> None:
 
 
 def _run_figure6(args) -> None:
-    result = run_figure6(nodes=args.nodes, searches_per_point=args.searches, seed=args.seed)
+    result = run_figure6(
+        nodes=args.nodes,
+        searches_per_point=args.searches,
+        seed=args.seed,
+        engine=getattr(args, "engine", "object"),
+    )
     table_a, table_b = result.to_tables()
     print(table_a.to_text())
     print()
@@ -93,13 +144,87 @@ def _run_figure7(args) -> None:
         searches_per_point=args.searches,
         iterations=args.iterations,
         seed=args.seed,
+        engine=getattr(args, "engine", "object"),
     )
     print(result.to_table().to_text())
 
 
 def _run_table1(args) -> None:
-    result = run_table1(searches=args.searches, seed=args.seed)
+    result = run_table1(
+        searches=args.searches,
+        seed=args.seed,
+        recovery=RecoveryStrategy(getattr(args, "recovery", "backtrack")),
+        engine=getattr(args, "engine", "object"),
+    )
     print(result.to_text())
+
+
+def _run_route_bench(args) -> None:
+    """Route N random queries through one engine and report throughput."""
+    import numpy as np
+
+    from repro.core.builder import build_ideal_network
+    from repro.core.failures import NodeFailureModel
+    from repro.core.routing import GreedyRouter
+    from repro.experiments.runner import ExperimentTable, route_sample
+    from repro.fastpath import BatchGreedyRouter, compile_snapshot
+    from repro.simulation.workload import LookupWorkload
+
+    mode = RoutingMode(args.mode)
+    build = build_ideal_network(args.nodes, links_per_node=args.links, seed=args.seed)
+    graph = build.graph
+    if args.fail > 0.0:
+        NodeFailureModel(args.fail, seed=args.seed + 1).apply(graph)
+    live = graph.labels(only_alive=True)
+    if len(live) < 2:
+        raise SystemExit(
+            f"route-bench: --fail {args.fail} leaves {len(live)} live node(s); "
+            "need at least two to generate queries — lower --fail or raise --nodes"
+        )
+    pairs = LookupWorkload(seed=args.seed + 2).pairs(live, args.queries)
+
+    if args.engine == "fastpath":
+        started = time.perf_counter()
+        router = BatchGreedyRouter(snapshot=compile_snapshot(graph), mode=mode)
+        compiled = time.perf_counter()
+        result = router.route_pairs(pairs)
+        finished = time.perf_counter()
+        setup_seconds = compiled - started
+        route_seconds = finished - compiled
+        successes = int(result.success.sum())
+        hops = result.mean_hops()
+    else:
+        router = GreedyRouter(
+            graph=graph, mode=mode, recovery=RecoveryStrategy.TERMINATE, seed=args.seed
+        )
+        started = time.perf_counter()
+        failures, hop_counts = route_sample(graph, router, pairs)
+        finished = time.perf_counter()
+        successes = len(pairs) - failures
+        setup_seconds = 0.0
+        route_seconds = finished - started
+        hops = float(np.mean(hop_counts)) if hop_counts else 0.0
+
+    table = ExperimentTable(
+        title=f"route-bench: {args.engine} engine, terminate recovery, {mode.value} mode",
+        columns=[
+            "nodes", "queries", "failed_nodes", "setup_s", "route_s",
+            "queries_per_sec", "success_rate", "mean_hops",
+        ],
+        notes="setup_s is snapshot compilation (fastpath only); "
+        "queries_per_sec counts routing time alone.",
+    )
+    table.add_row(
+        args.nodes,
+        len(pairs),
+        args.fail,
+        setup_seconds,
+        route_seconds,
+        len(pairs) / route_seconds if route_seconds > 0 else float("inf"),
+        successes / len(pairs),
+        hops,
+    )
+    print(table.to_text())
 
 
 def _run_ablations(args) -> None:
@@ -133,15 +258,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_ablations(args)
     elif args.command == "baselines":
         _run_baselines(args)
+    elif args.command == "route-bench":
+        _run_route_bench(args)
     elif args.command == "all":
         defaults = build_parser()
         for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines"):
             print("=" * 78)
             print(f"== {command}")
             print("=" * 78)
-            sub_args = defaults.parse_args([command, "--seed", str(args.seed)]
-                                           if command not in ("ablations", "all")
-                                           else [command])
+            # --seed is a top-level option the subparsers do not re-declare;
+            # parse the bare command and carry the seed over by hand.
+            sub_args = defaults.parse_args([command])
             sub_args.seed = args.seed
             main_dispatch(sub_args)
             print()
@@ -157,6 +284,7 @@ def main_dispatch(args) -> None:
         "table1": _run_table1,
         "ablations": _run_ablations,
         "baselines": _run_baselines,
+        "route-bench": _run_route_bench,
     }
     dispatch[args.command](args)
 

@@ -11,6 +11,11 @@ Figure 5(b) plots the absolute error, whose largest magnitude is roughly
 parameters are scaled down (2^11 nodes, 5 networks) so the experiment runs in
 seconds; pass ``nodes=1 << 14, links_per_node=14, networks=10`` for the
 paper-scale run.
+
+Unlike the routing experiments (figure6/figure7/table1), Figure 5 measures
+the *construction* heuristic only — no queries are routed — so it has no
+``engine`` switch; the :mod:`repro.fastpath` engine accelerates routing
+evaluation, not incremental construction.
 """
 
 from __future__ import annotations

@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.core.builder import build_ideal_network
 from repro.core.failures import NodeFailureModel, failure_sweep_levels
-from repro.core.routing import GreedyRouter, RecoveryStrategy
-from repro.experiments.runner import ExperimentTable
+from repro.core.routing import RecoveryStrategy
+from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
 from repro.simulation.workload import LookupWorkload
 
 __all__ = ["Figure6Result", "run_figure6", "DEFAULT_STRATEGIES"]
@@ -78,6 +78,7 @@ def run_figure6(
     searches_per_point: int = 200,
     strategies=DEFAULT_STRATEGIES,
     seed: int = 0,
+    engine: str = "object",
 ) -> Figure6Result:
     """Reproduce Figure 6(a)/(b).
 
@@ -85,6 +86,11 @@ def run_figure6(
     simulation, the network is set up afresh"), the failure model removes the
     requested fraction of nodes, and every strategy routes the same
     source/destination pairs so the comparison is paired.
+
+    With ``engine="fastpath"`` the terminate strategy runs on the batched
+    array engine (identical statistics, far faster at scale); the stateful
+    re-route and backtracking strategies automatically stay on the object
+    engine, so mixed sweeps remain a single call.
     """
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
@@ -100,6 +106,7 @@ def run_figure6(
             "links_per_node": links_per_node,
             "searches_per_point": searches_per_point,
             "seed": seed,
+            "engine": engine,
         },
     )
 
@@ -114,18 +121,23 @@ def run_figure6(
         workload = LookupWorkload(seed=seed + 2000 + level_index)
         pairs = workload.pairs(live, searches_per_point)
 
+        snapshot = None
+        if engine == "fastpath":
+            # One compilation serves every fastpath-supported strategy at
+            # this failure level; the object-engine strategies ignore it.
+            from repro.fastpath import compile_snapshot
+
+            snapshot = compile_snapshot(graph)
+
         for strategy in strategies:
-            router = GreedyRouter(
-                graph=graph, recovery=strategy, seed=seed + 3000 + level_index
+            failures, hops = route_pairs_with_engine(
+                graph,
+                pairs,
+                engine=engine,
+                recovery=strategy,
+                seed=seed + 3000 + level_index,
+                snapshot=snapshot,
             )
-            failures = 0
-            hops: list[int] = []
-            for source, target in pairs:
-                route = router.route(source, target)
-                if route.success:
-                    hops.append(route.hops)
-                else:
-                    failures += 1
             result.failed_fraction[strategy.value].append(failures / len(pairs))
             result.mean_hops[strategy.value].append(
                 float(np.mean(hops)) if hops else 0.0

@@ -4,6 +4,15 @@ Experiments produce :class:`ExperimentTable` objects — a header plus rows of
 values — which can be printed as aligned text tables (the library has no
 plotting dependency; the "figures" are reproduced as the numeric series the
 paper plots).
+
+The harness also owns the **engine switch**: every routing experiment accepts
+``engine="object"`` (the scalar :class:`~repro.core.routing.GreedyRouter`,
+one Python hop at a time) or ``engine="fastpath"`` (the batched NumPy engine
+of :mod:`repro.fastpath`).  :func:`route_pairs_with_engine` is the single
+place that arbitrates between them: for the configurations fastpath supports
+(terminate recovery, either routing mode) the two engines produce identical
+statistics, and for unsupported recovery strategies the call silently falls
+back to the object engine so mixed-strategy sweeps keep working.
 """
 
 from __future__ import annotations
@@ -11,7 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["ExperimentTable", "format_table", "route_sample"]
+from repro.core.routing import GreedyRouter, RecoveryStrategy, RoutingMode
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "route_sample",
+    "route_pairs_with_engine",
+]
 
 
 @dataclass
@@ -90,3 +106,60 @@ def route_sample(graph, router, pairs) -> tuple[int, list[int]]:
         else:
             failures += 1
     return failures, hops
+
+
+def route_pairs_with_engine(
+    graph,
+    pairs,
+    engine: str = "object",
+    mode: RoutingMode = RoutingMode.TWO_SIDED,
+    recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE,
+    strict_best_neighbor: bool = False,
+    seed: int = 0,
+    snapshot=None,
+) -> tuple[int, list[int]]:
+    """Route every pair through the requested engine.
+
+    Returns ``(failures, hops_of_successes)`` regardless of engine, so
+    experiment code is engine-agnostic.
+
+    Parameters
+    ----------
+    graph:
+        The overlay graph (with any failures already applied).
+    pairs:
+        Sequence of (source, target) label pairs.
+    engine:
+        ``"object"`` or ``"fastpath"``.  A fastpath request with an
+        unsupported recovery strategy falls back to the object engine (see
+        :func:`repro.fastpath.select_engine`).
+    snapshot:
+        Optional precompiled :class:`~repro.fastpath.FastpathSnapshot` of
+        ``graph`` — pass it when several strategies share one topology so the
+        graph is compiled once, not per strategy.  Ignored by the object
+        engine.  The caller is responsible for the snapshot actually matching
+        ``graph``'s current liveness.
+    """
+    from repro.fastpath import BatchGreedyRouter, compile_snapshot, select_engine
+
+    resolved = select_engine(engine, recovery)
+    if resolved == "fastpath":
+        if snapshot is None:
+            snapshot = compile_snapshot(graph)
+        router = BatchGreedyRouter(
+            snapshot=snapshot,
+            mode=mode,
+            recovery=recovery,
+            strict_best_neighbor=strict_best_neighbor,
+        )
+        result = router.route_pairs(pairs)
+        return result.failed_count(), result.hops[result.success].tolist()
+
+    router = GreedyRouter(
+        graph=graph,
+        mode=mode,
+        recovery=recovery,
+        strict_best_neighbor=strict_best_neighbor,
+        seed=seed,
+    )
+    return route_sample(graph, router, pairs)

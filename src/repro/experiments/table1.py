@@ -29,8 +29,8 @@ from repro.core.builder import (
 from repro.core.distributions import InversePowerLawDistribution
 from repro.core.failures import LinkFailureModel, NodeFailureModel
 from repro.core.metric import RingMetric
-from repro.core.routing import GreedyRouter, RecoveryStrategy
-from repro.experiments.runner import ExperimentTable
+from repro.core.routing import RecoveryStrategy
+from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
 from repro.simulation.workload import LookupWorkload
 
 __all__ = ["Table1Result", "run_table1", "measure_mean_hops"]
@@ -41,20 +41,19 @@ def measure_mean_hops(
     searches: int,
     seed: int,
     recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
+    engine: str = "object",
 ) -> tuple[float, float]:
-    """Return (mean hops of successful searches, failed fraction) on ``graph``."""
+    """Return (mean hops of successful searches, failed fraction) on ``graph``.
+
+    ``engine="fastpath"`` takes effect when ``recovery`` is terminate (the
+    fastpath-supported strategy); otherwise the object engine is used.
+    """
     live = graph.labels(only_alive=True)
     workload = LookupWorkload(seed=seed)
     pairs = workload.pairs(live, searches)
-    router = GreedyRouter(graph=graph, recovery=recovery, seed=seed)
-    hops: list[int] = []
-    failures = 0
-    for source, target in pairs:
-        route = router.route(source, target)
-        if route.success:
-            hops.append(route.hops)
-        else:
-            failures += 1
+    failures, hops = route_pairs_with_engine(
+        graph, pairs, engine=engine, recovery=recovery, seed=seed
+    )
     mean_hops = float(np.mean(hops)) if hops else 0.0
     return mean_hops, failures / len(pairs)
 
@@ -96,6 +95,8 @@ def run_table1(
     probabilities: list[float] | None = None,
     searches: int = 150,
     seed: int = 0,
+    recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
+    engine: str = "object",
 ) -> Table1Result:
     """Measure delivery time for every Table-1 model.
 
@@ -113,6 +114,13 @@ def run_table1(
         Searches per measurement point.
     seed:
         Base seed.
+    recovery:
+        Recovery strategy used by every measurement (the paper's default is
+        backtracking, the best-performing strategy).
+    engine:
+        ``"object"`` or ``"fastpath"``.  Fastpath accelerates the sweep only
+        when ``recovery`` is terminate; with the default backtracking
+        strategy it silently falls back to the object engine.
     """
     if sizes is None:
         sizes = [1 << k for k in range(8, 13)]
@@ -130,7 +138,7 @@ def run_table1(
     )
     for index, n in enumerate(sizes):
         build = build_ideal_network(n, links_per_node=1, seed=seed + index)
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 10 + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 10 + index, recovery=recovery, engine=engine)
         single.add_row(n, hops, bounds.upper_bound_single_link(n))
 
     # Row 2: l links in [1, lg n] — hops should fall roughly like 1/l.
@@ -141,7 +149,7 @@ def run_table1(
     )
     for index, links in enumerate(link_counts):
         build = build_ideal_network(polylog_n, links_per_node=links, seed=seed + 20 + index)
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 30 + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 30 + index, recovery=recovery, engine=engine)
         polylog.add_row(links, hops, bounds.upper_bound_multiple_links(polylog_n, links))
 
     # Row 3: deterministic base-b scheme — hops should be ~ log_b n.
@@ -154,7 +162,7 @@ def run_table1(
             space=RingMetric(polylog_n), base=base, variant="full", seed=seed + 40 + index
         )
         build = builder.build()
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 50 + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 50 + index, recovery=recovery, engine=engine)
         deterministic.add_row(
             base, build.links_per_node, hops, bounds.upper_bound_deterministic(polylog_n, base)
         )
@@ -173,7 +181,7 @@ def run_table1(
     for index, p in enumerate(probabilities):
         model = LinkFailureModel(p, seed=seed + 70 + index)
         model.apply(base_build.graph)
-        hops, failed = measure_mean_hops(base_build.graph, searches, seed + 80 + index)
+        hops, failed = measure_mean_hops(base_build.graph, searches, seed + 80 + index, recovery=recovery, engine=engine)
         link_failures_random.add_row(
             p, hops, failed, bounds.upper_bound_link_failures_random(failure_n, failure_links, p)
         )
@@ -195,7 +203,7 @@ def run_table1(
     for index, p in enumerate(probabilities):
         model = LinkFailureModel(p, seed=seed + 100 + index)
         model.apply(det_build.graph)
-        hops, failed = measure_mean_hops(det_build.graph, searches, seed + 110 + index)
+        hops, failed = measure_mean_hops(det_build.graph, searches, seed + 110 + index, recovery=recovery, engine=engine)
         link_failures_det.add_row(
             p, hops, failed,
             bounds.upper_bound_link_failures_deterministic(failure_n, deterministic_base, p),
@@ -215,7 +223,7 @@ def run_table1(
         p_failed = round(1.0 - p_alive, 10)
         model = NodeFailureModel(p_failed, seed=seed + 130 + index)
         model.apply(node_build.graph)
-        hops, failed = measure_mean_hops(node_build.graph, searches, seed + 140 + index)
+        hops, failed = measure_mean_hops(node_build.graph, searches, seed + 140 + index, recovery=recovery, engine=engine)
         node_failures.add_row(
             p_failed, hops, failed,
             bounds.upper_bound_node_failures(failure_n, failure_links, p_failed),
@@ -240,7 +248,7 @@ def run_table1(
             seed=seed + 150 + index,
         )
         build = builder.build()
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 160 + index)
+        hops, _ = measure_mean_hops(build.graph, searches, seed + 160 + index, recovery=recovery, engine=engine)
         occupied = len(build.present_labels)
         binomial.add_row(
             presence, occupied, hops, bounds.upper_bound_single_link(max(2, occupied))
@@ -261,5 +269,7 @@ def run_table1(
             "probabilities": probabilities,
             "searches": searches,
             "seed": seed,
+            "recovery": recovery.value,
+            "engine": engine,
         },
     )

@@ -1,0 +1,92 @@
+"""repro.fastpath — array-compiled overlay and batched greedy routing.
+
+The paper's headline numbers (Figures 5–7, Table 1) are statistics over many
+thousands of routed queries; this package is the evaluation engine that makes
+those populations cheap.  It has two halves:
+
+* :mod:`repro.fastpath.snapshot` — **compile** a built overlay into an
+  immutable array snapshot (CSR neighbour arrays, ring positions, alive
+  bitmask);
+* :mod:`repro.fastpath.batch_router` — **evaluate** thousands of
+  (source, target) queries against a snapshot, one vectorized hop per step,
+  with :mod:`repro.fastpath.failures` injecting node failures as bulk mask
+  operations.
+
+Coverage and the equivalence contract
+-------------------------------------
+The fastpath engine covers greedy routing as analysed in Sections 2 and 4 and
+evaluated under node failures in Section 6 of the paper, for both the
+two-sided and one-sided routing modes, restricted to the **terminate**
+recovery strategy.  Within that envelope it is hop-for-hop identical to the
+scalar :class:`~repro.core.routing.GreedyRouter` (same paths, same hop
+counts, same failure verdicts) — asserted by
+``tests/property/test_property_fastpath.py``.  The random-reroute and
+backtracking strategies, Byzantine behaviour, and the maintenance/DHT layers
+remain object-engine only; :func:`select_engine` arbitrates the fallback.
+
+Quickstart
+----------
+>>> from repro.core.builder import build_ideal_network
+>>> from repro.fastpath import compile_snapshot, BatchGreedyRouter
+>>> graph = build_ideal_network(1024, seed=3).graph
+>>> router = BatchGreedyRouter(compile_snapshot(graph))
+>>> result = router.route_batch([1, 2, 3], [900, 700, 500])
+>>> bool(result.success.all())
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.routing import RecoveryStrategy
+from repro.fastpath.batch_router import (
+    FAILURE_CODES,
+    BatchGreedyRouter,
+    BatchRouteResult,
+)
+from repro.fastpath.failures import apply_node_failures, sample_node_failures
+from repro.fastpath.snapshot import FastpathSnapshot, compile_snapshot
+
+__all__ = [
+    "FastpathSnapshot",
+    "compile_snapshot",
+    "BatchGreedyRouter",
+    "BatchRouteResult",
+    "FAILURE_CODES",
+    "apply_node_failures",
+    "sample_node_failures",
+    "ENGINES",
+    "FASTPATH_RECOVERIES",
+    "supports_recovery",
+    "select_engine",
+]
+
+#: Engine names accepted by the experiment harness.
+ENGINES = ("object", "fastpath")
+
+#: Recovery strategies the batched engine implements.
+FASTPATH_RECOVERIES = frozenset({RecoveryStrategy.TERMINATE})
+
+
+def supports_recovery(recovery: RecoveryStrategy) -> bool:
+    """Return ``True`` when the fastpath engine implements ``recovery``."""
+    return recovery in FASTPATH_RECOVERIES
+
+
+def select_engine(engine: str, recovery: RecoveryStrategy) -> str:
+    """Validate an engine request and resolve the fastpath fallback rule.
+
+    Returns ``"fastpath"`` only when it was requested *and* the recovery
+    strategy is fastpath-supported; unsupported strategies silently fall back
+    to ``"object"`` (the documented contract — experiments mix strategies and
+    must not fail half-way through a sweep).
+
+    Raises
+    ------
+    ValueError
+        If ``engine`` is not one of :data:`ENGINES`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "fastpath" and supports_recovery(recovery):
+        return "fastpath"
+    return "object"

@@ -1,0 +1,358 @@
+"""Batched greedy routing over a compiled snapshot.
+
+The scalar :class:`~repro.core.routing.GreedyRouter` walks one message at a
+time through Python objects; this module advances **thousands of queries one
+hop per vectorized step**.  Each step gathers the dense neighbour rows of all
+still-active queries, computes every candidate's metric distance to its
+query's target in one NumPy expression, masks out unusable candidates, and
+picks each query's next hop with a single ``argmin``.
+
+Equivalence contract (see also :mod:`repro.core.routing`)
+---------------------------------------------------------
+For the configurations it supports, the batch engine is **hop-for-hop
+identical** to the scalar router — not merely statistically similar.  The
+guarantee rests on two details:
+
+* the snapshot's per-vertex neighbour order equals the scalar router's
+  candidate order, and ``argmin`` returns the *first* minimum, matching the
+  scalar router's stable sort-by-distance tie-break;
+* all queries use the terminate recovery strategy, under which a route's hop
+  count equals the number of global steps it has been active, so a single
+  step counter implements the scalar per-route hop limit exactly.
+
+Supported: both routing modes (``TWO_SIDED`` and ``ONE_SIDED``, Sections 2
+and 4 of the paper), both neighbour-knowledge regimes
+(``strict_best_neighbor`` True/False), node failures (Sections 4.3.4.2 and
+6), and the ``terminate`` recovery strategy.  The ``random-reroute`` and
+``backtrack`` strategies of Section 6 carry per-query mutable state (detour
+targets, bounded visit histories) that defeats lock-step vectorization; the
+constructor raises :class:`NotImplementedError` for them and callers should
+fall back to the scalar :class:`~repro.core.routing.GreedyRouter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.routing import (
+    FailureReason,
+    RecoveryStrategy,
+    RouteResult,
+    RoutingMode,
+)
+from repro.fastpath.snapshot import FastpathSnapshot
+
+__all__ = ["BatchRouteResult", "BatchGreedyRouter", "FAILURE_CODES"]
+
+
+# Compact int8 encoding of FailureReason for the result arrays.
+FAILURE_CODES: dict[FailureReason, int] = {
+    FailureReason.NONE: 0,
+    FailureReason.STUCK: 1,
+    FailureReason.HOP_LIMIT: 2,
+    FailureReason.DEAD_SOURCE: 3,
+    FailureReason.DEAD_TARGET: 4,
+}
+_CODE_TO_REASON = {code: reason for reason, code in FAILURE_CODES.items()}
+
+
+@dataclass
+class BatchRouteResult:
+    """Array-of-structs outcome of a batched routing run.
+
+    All arrays are aligned with the query order passed to
+    :meth:`BatchGreedyRouter.route_batch`.
+
+    Attributes
+    ----------
+    sources, targets:
+        The queried (source, target) labels.
+    success:
+        ``bool[num_queries]`` — whether each message reached its target.
+    hops:
+        ``int64[num_queries]`` — edges traversed per query.
+    failure_codes:
+        ``int8[num_queries]`` — :data:`FAILURE_CODES` encoding of the failure
+        reason (0 on success).
+    final:
+        ``int64[num_queries]`` — label of the node each message stopped at.
+    paths:
+        Per-query visited-label lists when the run recorded paths, else
+        ``None`` (recording is intended for parity tests, not bulk runs).
+    """
+
+    sources: np.ndarray
+    targets: np.ndarray
+    success: np.ndarray
+    hops: np.ndarray
+    failure_codes: np.ndarray
+    final: np.ndarray
+    paths: list[list[int]] | None = None
+
+    def __len__(self) -> int:
+        return int(self.success.shape[0])
+
+    def success_rate(self) -> float:
+        """Fraction of queries that succeeded (0.0 for an empty batch)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.success.mean())
+
+    def failed_count(self) -> int:
+        """Number of failed queries."""
+        return int(len(self) - self.success.sum())
+
+    def mean_hops(self, successful_only: bool = True) -> float:
+        """Mean hop count, by default over successful queries only.
+
+        Matches the experiments' convention of averaging the delivery time of
+        *successful* searches; returns 0.0 when no query qualifies.
+        """
+        mask = self.success if successful_only else np.ones(len(self), dtype=bool)
+        if not np.any(mask):
+            return 0.0
+        return float(self.hops[mask].mean())
+
+    def failure_reason(self, index: int) -> FailureReason:
+        """Decode the failure reason of the query at ``index``."""
+        return _CODE_TO_REASON[int(self.failure_codes[index])]
+
+    def to_route_results(self) -> list[RouteResult]:
+        """Convert to scalar :class:`~repro.core.routing.RouteResult` objects.
+
+        When paths were not recorded, each result's ``path`` contains only the
+        endpoints actually known (source, and the final node when distinct).
+        """
+        results: list[RouteResult] = []
+        for index in range(len(self)):
+            if self.paths is not None:
+                path = list(self.paths[index])
+            else:
+                path = [int(self.sources[index])]
+                if int(self.final[index]) != path[-1]:
+                    path.append(int(self.final[index]))
+            results.append(
+                RouteResult(
+                    success=bool(self.success[index]),
+                    hops=int(self.hops[index]),
+                    path=path,
+                    failure_reason=self.failure_reason(index),
+                )
+            )
+        return results
+
+
+@dataclass
+class BatchGreedyRouter:
+    """Vectorized greedy router over a :class:`FastpathSnapshot`.
+
+    Parameters mirror :class:`~repro.core.routing.GreedyRouter` where the
+    semantics overlap; see the module docstring for the equivalence contract.
+
+    Parameters
+    ----------
+    snapshot:
+        The compiled overlay.  Its ``alive`` mask is the node-liveness the
+        router respects; link liveness was baked in at compile time.
+    mode:
+        Two-sided (default) or one-sided greedy forwarding.
+    recovery:
+        Must be :attr:`RecoveryStrategy.TERMINATE`; the stateful Section-6
+        strategies raise :class:`NotImplementedError` (use the scalar router).
+    strict_best_neighbor:
+        Same knowledge-regime switch as the scalar router.
+    hop_limit:
+        Per-query hop budget; ``None`` derives the scalar router's default
+        from the space size.
+    """
+
+    snapshot: FastpathSnapshot
+    mode: RoutingMode = RoutingMode.TWO_SIDED
+    recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE
+    strict_best_neighbor: bool = False
+    hop_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.recovery is not RecoveryStrategy.TERMINATE:
+            raise NotImplementedError(
+                f"the fastpath engine only supports the "
+                f"{RecoveryStrategy.TERMINATE.value!r} recovery strategy; "
+                f"{self.recovery.value!r} keeps per-query mutable state — "
+                "fall back to the scalar repro.core.routing.GreedyRouter"
+            )
+        if self.hop_limit is None:
+            size = max(4, self.snapshot.space_size)
+            self.hop_limit = int(50 * np.ceil(np.log2(size)) ** 2 + 100)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def route_pairs(
+        self, pairs, record_paths: bool = False
+    ) -> BatchRouteResult:
+        """Route a sequence of (source, target) label pairs."""
+        array = np.asarray(list(pairs), dtype=np.int64)
+        if array.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return BatchRouteResult(
+                sources=empty,
+                targets=empty.copy(),
+                success=np.empty(0, dtype=bool),
+                hops=empty.copy(),
+                failure_codes=np.empty(0, dtype=np.int8),
+                final=empty.copy(),
+                paths=[] if record_paths else None,
+            )
+        return self.route_batch(array[:, 0], array[:, 1], record_paths=record_paths)
+
+    def route_batch(
+        self,
+        sources,
+        targets,
+        record_paths: bool = False,
+    ) -> BatchRouteResult:
+        """Route every ``sources[i] -> targets[i]`` query and return all outcomes.
+
+        Parameters
+        ----------
+        sources, targets:
+            Equal-length arrays of vertex labels.
+        record_paths:
+            Also record the per-query visited-label lists (slow; meant for
+            parity tests and debugging, not bulk evaluation).
+        """
+        snapshot = self.snapshot
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise ValueError(
+                "sources and targets must be equal-length 1-D arrays, got "
+                f"shapes {sources.shape} and {targets.shape}"
+            )
+        num_queries = sources.shape[0]
+
+        source_index = snapshot.indices_of(sources)
+        target_index = snapshot.indices_of(targets)
+        alive = snapshot.alive
+        labels = snapshot.labels
+
+        success = np.zeros(num_queries, dtype=bool)
+        hops = np.zeros(num_queries, dtype=np.int64)
+        codes = np.zeros(num_queries, dtype=np.int8)
+        current = source_index.copy()
+        paths: list[list[int]] | None = None
+        if record_paths:
+            paths = [[int(label)] for label in sources]
+
+        # Endpoint checks, in the scalar router's order: dead source first.
+        dead_source = ~alive[source_index]
+        dead_target = ~dead_source & ~alive[target_index]
+        codes[dead_source] = FAILURE_CODES[FailureReason.DEAD_SOURCE]
+        codes[dead_target] = FAILURE_CODES[FailureReason.DEAD_TARGET]
+        trivial = ~dead_source & ~dead_target & (source_index == target_index)
+        success[trivial] = True
+
+        active = np.flatnonzero(~dead_source & ~dead_target & ~trivial)
+        matrices = snapshot.routing_matrices()
+        # Skip the per-hop liveness gather entirely on a failure-free
+        # snapshot — the common case for the no-failure experiment rows.
+        all_alive = bool(alive.all())
+
+        step = 0
+        while active.size and step < self.hop_limit:
+            chosen, stuck = self._step(
+                matrices, current[active], target_index[active], all_alive
+            )
+            # Stuck queries terminate here (the terminate strategy).
+            stuck_queries = active[stuck]
+            codes[stuck_queries] = FAILURE_CODES[FailureReason.STUCK]
+
+            movers = ~stuck
+            moving_queries = active[movers]
+            current[moving_queries] = chosen[movers]
+            hops[moving_queries] += 1
+            if paths is not None:
+                for query in moving_queries:
+                    paths[query].append(int(labels[current[query]]))
+
+            arrived = current[moving_queries] == target_index[moving_queries]
+            success[moving_queries[arrived]] = True
+            active = moving_queries[~arrived]
+            step += 1
+
+        # Whatever is still active ran out of hop budget.
+        codes[active] = FAILURE_CODES[FailureReason.HOP_LIMIT]
+
+        return BatchRouteResult(
+            sources=sources,
+            targets=targets,
+            success=success,
+            hops=hops,
+            failure_codes=codes,
+            final=labels[current].copy(),
+            paths=paths,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One vectorized greedy step
+    # ------------------------------------------------------------------ #
+
+    def _step(
+        self,
+        matrices: tuple[np.ndarray, np.ndarray, np.ndarray],
+        current: np.ndarray,
+        target: np.ndarray,
+        all_alive: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every active query one hop.
+
+        Returns ``(chosen, stuck)``: the next-hop vertex index per query
+        (undefined where stuck) and the boolean stuck mask.
+        """
+        snapshot = self.snapshot
+        dense, valid_matrix, label_matrix = matrices
+        compact_labels = snapshot.labels_compact()
+        alive = snapshot.alive
+
+        neighbors = dense[current]  # (k, max_degree) vertex indices, -1 pad
+        valid = valid_matrix[current]
+        neighbor_labels = label_matrix[current]
+        current_labels = compact_labels[current]
+        target_labels = compact_labels[target]
+
+        current_distance = snapshot.distance(current_labels, target_labels)
+        neighbor_distance = snapshot.distance(
+            neighbor_labels, target_labels[:, None]
+        )
+        candidates = valid & (neighbor_distance < current_distance[:, None])
+
+        if self.mode is RoutingMode.ONE_SIDED:
+            # Never traverse a link that jumps past the target: the signed
+            # displacement towards the target must not change sign.
+            before = snapshot.displacement(current_labels, target_labels)
+            after = snapshot.displacement(neighbor_labels, target_labels[:, None])
+            overshoot = ((before[:, None] > 0) != (after > 0)) & (after != 0)
+            candidates &= ~overshoot
+
+        if not self.strict_best_neighbor and not all_alive:
+            candidates &= alive[np.where(valid, neighbors, 0)]
+
+        # First minimum along the row == the scalar router's stable
+        # sort-by-distance with earliest-neighbour tie-break.
+        blocked = neighbor_distance.dtype.type(snapshot.space_size + 1)
+        keyed = np.where(candidates, neighbor_distance, blocked)
+        pick = np.argmin(keyed, axis=1)
+        row = np.arange(current.shape[0])
+        has_candidate = keyed[row, pick] < blocked
+        chosen = neighbors[row, pick]
+
+        if self.strict_best_neighbor and not all_alive:
+            # The node commits to its best candidate before learning whether
+            # it is alive; a dead best candidate means the query is stuck.
+            stuck = ~has_candidate | ~alive[np.where(has_candidate, chosen, 0)]
+        else:
+            stuck = ~has_candidate
+        return chosen, stuck

@@ -1,0 +1,103 @@
+"""Property-based parity tests: fastpath engine vs the scalar GreedyRouter.
+
+The fastpath contract (see :mod:`repro.fastpath`) is *hop-for-hop* equality
+with the object engine for every configuration the batch router supports:
+same paths, same hop counts, same success verdicts, same failure reasons —
+for both routing modes, with and without node failures, under both
+neighbour-knowledge regimes.  These tests generate random topologies, seeds,
+and failure levels and assert exactly that.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel
+from repro.core.routing import GreedyRouter, RecoveryStrategy, RoutingMode
+from repro.fastpath import BatchGreedyRouter, compile_snapshot
+from repro.simulation.workload import LookupWorkload
+
+
+@st.composite
+def routed_scenario(draw):
+    """A random topology plus a routed workload over its live nodes."""
+    exponent = draw(st.integers(min_value=5, max_value=9))
+    n = 1 << exponent
+    seed = draw(st.integers(min_value=0, max_value=40))
+    links = draw(st.integers(min_value=1, max_value=8))
+    failure_level = draw(st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.7]))
+    queries = draw(st.integers(min_value=5, max_value=40))
+    return n, seed, links, failure_level, queries
+
+
+def _assert_parity(graph, pairs, mode, strict):
+    """Assert hop-for-hop equality between the two engines on ``pairs``."""
+    scalar = GreedyRouter(
+        graph,
+        mode=mode,
+        recovery=RecoveryStrategy.TERMINATE,
+        strict_best_neighbor=strict,
+    )
+    batch = BatchGreedyRouter(
+        compile_snapshot(graph), mode=mode, strict_best_neighbor=strict
+    )
+    result = batch.route_pairs(pairs, record_paths=True)
+    assert batch.hop_limit == scalar.hop_limit
+    for index, (source, target) in enumerate(pairs):
+        reference = scalar.route(source, target)
+        assert bool(result.success[index]) == reference.success
+        assert int(result.hops[index]) == reference.hops
+        assert result.paths[index] == reference.path
+        assert result.failure_reason(index) == reference.failure_reason
+
+
+class TestHopForHopParity:
+    @settings(max_examples=25, deadline=None)
+    @given(routed_scenario(), st.sampled_from(list(RoutingMode)))
+    def test_failure_free(self, scenario, mode):
+        n, seed, links, _level, queries = scenario
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        pairs = LookupWorkload(seed=seed + 1).pairs(graph.labels(only_alive=True), queries)
+        _assert_parity(graph, pairs, mode, strict=False)
+
+    @settings(max_examples=25, deadline=None)
+    @given(routed_scenario(), st.sampled_from(list(RoutingMode)))
+    def test_under_node_failures(self, scenario, mode):
+        n, seed, links, level, queries = scenario
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed + 7)
+        model.apply(graph)
+        pairs = LookupWorkload(seed=seed + 1).pairs(graph.labels(only_alive=True), queries)
+        _assert_parity(graph, pairs, mode, strict=False)
+        model.repair(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(routed_scenario(), st.sampled_from(list(RoutingMode)))
+    def test_strict_best_neighbor_regime(self, scenario, mode):
+        n, seed, links, level, queries = scenario
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed + 13)
+        model.apply(graph)
+        pairs = LookupWorkload(seed=seed + 2).pairs(graph.labels(only_alive=True), queries)
+        _assert_parity(graph, pairs, mode, strict=True)
+        model.repair(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        level=st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    def test_dead_endpoints_report_identically(self, seed, level):
+        graph = build_ideal_network(128, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed + 3)
+        model.apply(graph)
+        dead = [label for label in graph.labels() if not graph.is_alive(label)]
+        live = graph.labels(only_alive=True)
+        pairs = []
+        if dead and live:
+            pairs = [(dead[0], live[0]), (live[0], dead[0]), (dead[0], dead[-1])]
+        if pairs:
+            _assert_parity(graph, pairs, RoutingMode.TWO_SIDED, strict=False)
+        model.repair(graph)

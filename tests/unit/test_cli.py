@@ -25,9 +25,30 @@ class TestParser:
 
     def test_all_commands_exist(self):
         parser = build_parser()
-        for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines", "all"):
+        for command in (
+            "figure5", "figure6", "figure7", "table1",
+            "ablations", "baselines", "route-bench", "all",
+        ):
             args = parser.parse_args([command]) if command != "all" else parser.parse_args(["all"])
             assert args.command == command
+
+    def test_engine_option_defaults_to_object(self):
+        for command in ("figure6", "figure7", "table1", "route-bench"):
+            args = build_parser().parse_args([command])
+            assert args.engine == "object"
+        args = build_parser().parse_args(["figure6", "--engine", "fastpath"])
+        assert args.engine == "fastpath"
+
+    def test_engine_option_rejects_unknown_engines(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure6", "--engine", "gpu"])
+
+    def test_route_bench_defaults(self):
+        args = build_parser().parse_args(["route-bench"])
+        assert args.nodes == 10_000
+        assert args.queries == 10_000
+        assert args.fail == 0.0
+        assert args.mode == "two-sided"
 
 
 class TestMain:
@@ -55,3 +76,30 @@ class TestMain:
         exit_code = main(["baselines", "--bits", "6", "--searches", "20"])
         assert exit_code == 0
         assert "chord" in capsys.readouterr().out
+
+    def test_figure6_fastpath_engine_matches_object(self, capsys):
+        main(["figure6", "--nodes", "256", "--searches", "20"])
+        object_output = capsys.readouterr().out
+        main(["figure6", "--nodes", "256", "--searches", "20", "--engine", "fastpath"])
+        fastpath_output = capsys.readouterr().out
+        assert object_output == fastpath_output
+
+    @pytest.mark.parametrize("engine", ["object", "fastpath"])
+    def test_route_bench_small(self, capsys, engine):
+        exit_code = main(
+            ["route-bench", "--nodes", "256", "--queries", "40", "--engine", engine]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "route-bench" in output
+        assert "queries_per_sec" in output
+
+    def test_route_bench_with_failures_and_one_sided_mode(self, capsys):
+        exit_code = main(
+            [
+                "route-bench", "--nodes", "256", "--queries", "40",
+                "--engine", "fastpath", "--fail", "0.3", "--mode", "one-sided",
+            ]
+        )
+        assert exit_code == 0
+        assert "one-sided" in capsys.readouterr().out

@@ -1,0 +1,328 @@
+"""Unit tests for the fastpath subsystem (snapshot, batch router, failures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel
+from repro.core.graph import OverlayGraph
+from repro.core.metric import LineMetric, RingMetric, TorusMetric
+from repro.core.network import P2PNetwork
+from repro.core.routing import (
+    FailureReason,
+    GreedyRouter,
+    RecoveryStrategy,
+    RoutingMode,
+)
+from repro.experiments.runner import route_pairs_with_engine
+from repro.fastpath import (
+    BatchGreedyRouter,
+    apply_node_failures,
+    compile_snapshot,
+    sample_node_failures,
+    select_engine,
+    supports_recovery,
+)
+from repro.simulation.workload import LookupWorkload
+
+
+@pytest.fixture
+def snapshot_256():
+    graph = build_ideal_network(256, seed=11).graph
+    return graph, compile_snapshot(graph)
+
+
+class TestCompileSnapshot:
+    def test_labels_sorted_and_complete(self, snapshot_256):
+        graph, snapshot = snapshot_256
+        assert snapshot.num_nodes == len(graph)
+        assert np.all(np.diff(snapshot.labels) > 0)
+        assert set(snapshot.labels.tolist()) == set(graph.labels())
+
+    def test_neighbor_rows_match_scalar_candidate_order(self, snapshot_256):
+        graph, snapshot = snapshot_256
+        for index in range(snapshot.num_nodes):
+            label = int(snapshot.labels[index])
+            expected = graph.neighbors_of(
+                label,
+                only_alive_nodes=False,
+                only_alive_links=True,
+                include_incoming=True,
+            )
+            row = [int(snapshot.labels[i]) for i in snapshot.neighbors_of_index(index)]
+            assert row == expected
+
+    def test_alive_mask_tracks_graph_liveness(self):
+        graph = build_ideal_network(64, seed=2).graph
+        graph.fail_node(10)
+        graph.fail_node(33)
+        snapshot = compile_snapshot(graph)
+        dead = snapshot.labels[~snapshot.alive].tolist()
+        assert sorted(dead) == [10, 33]
+
+    def test_dead_links_are_omitted(self):
+        graph = build_ideal_network(64, seed=3).graph
+        node = graph.node(0)
+        assert node.long_links, "seeded build should give node 0 long links"
+        victim = node.long_links[0]
+        victim.alive = False
+        snapshot = compile_snapshot(graph)
+        row = [int(snapshot.labels[i]) for i in snapshot.neighbors_of_index(0)]
+        expected = graph.neighbors_of(
+            0, only_alive_nodes=False, only_alive_links=True, include_incoming=True
+        )
+        assert row == expected
+
+    def test_asymmetric_compile_drops_incoming(self):
+        graph = build_ideal_network(64, seed=4).graph
+        directed = compile_snapshot(graph, symmetric_neighbors=False)
+        for index in range(directed.num_nodes):
+            label = int(directed.labels[index])
+            expected = graph.neighbors_of(
+                label,
+                only_alive_nodes=False,
+                only_alive_links=True,
+                include_incoming=False,
+            )
+            row = [int(directed.labels[i]) for i in directed.neighbors_of_index(index)]
+            assert row == expected
+
+    def test_rejects_torus_space(self):
+        graph = OverlayGraph(TorusMetric(side=4, dimensions=2))
+        with pytest.raises(NotImplementedError):
+            compile_snapshot(graph)
+
+    def test_line_metric_supported(self):
+        graph = OverlayGraph(LineMetric(16))
+        for label in range(16):
+            graph.add_node(label)
+        graph.wire_ring()
+        snapshot = compile_snapshot(graph)
+        assert snapshot.kind == "line"
+        # Line endpoints have a single short neighbour.
+        assert snapshot.degrees()[0] == 1
+
+    def test_indices_of_rejects_unknown_labels(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        with pytest.raises(KeyError):
+            snapshot.indices_of([0, 10_000])
+
+    def test_distance_and_displacement_match_scalar_space(self):
+        space = RingMetric(97)
+        graph = OverlayGraph(space)
+        for label in range(97):
+            graph.add_node(label)
+        graph.wire_ring()
+        snapshot = compile_snapshot(graph)
+        a = np.arange(97)
+        for b in (0, 13, 48, 49, 96):
+            expected_d = [space.distance(int(x), b) for x in a]
+            expected_s = [space.displacement(int(x), b) for x in a]
+            assert snapshot.distance(a, np.int64(b)).tolist() == expected_d
+            assert snapshot.displacement(a, np.int64(b)).tolist() == expected_s
+
+    def test_with_alive_shares_topology_and_checks_shape(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        derived = snapshot.with_alive(np.zeros(snapshot.num_nodes, dtype=bool))
+        assert derived.neighbor_indices is snapshot.neighbor_indices
+        assert derived.alive_count() == 0
+        assert snapshot.alive_count() == snapshot.num_nodes
+        assert derived.dense_neighbors() is snapshot.dense_neighbors()
+        with pytest.raises(ValueError):
+            snapshot.with_alive(np.ones(3, dtype=bool))
+
+    def test_dense_neighbors_padded_with_minus_one(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        dense = snapshot.dense_neighbors()
+        degrees = snapshot.degrees()
+        assert dense.shape == (snapshot.num_nodes, int(degrees.max()))
+        for index in (0, 5, snapshot.num_nodes - 1):
+            degree = int(degrees[index])
+            assert np.all(dense[index, :degree] >= 0)
+            assert np.all(dense[index, degree:] == -1)
+
+
+class TestBatchGreedyRouter:
+    def test_unsupported_recovery_raises_with_guidance(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        for recovery in (RecoveryStrategy.RANDOM_REROUTE, RecoveryStrategy.BACKTRACK):
+            with pytest.raises(NotImplementedError, match="GreedyRouter"):
+                BatchGreedyRouter(snapshot, recovery=recovery)
+
+    def test_default_hop_limit_matches_scalar_router(self, snapshot_256):
+        graph, snapshot = snapshot_256
+        assert BatchGreedyRouter(snapshot).hop_limit == GreedyRouter(graph).hop_limit
+
+    def test_source_equals_target_is_zero_hop_success(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        result = BatchGreedyRouter(snapshot).route_batch([5], [5])
+        assert bool(result.success[0]) and int(result.hops[0]) == 0
+
+    def test_dead_endpoint_codes(self):
+        graph = build_ideal_network(64, seed=5).graph
+        graph.fail_node(7)
+        router = BatchGreedyRouter(compile_snapshot(graph))
+        result = router.route_batch([7, 20, 7], [20, 7, 7])
+        assert not result.success.any()
+        assert result.failure_reason(0) is FailureReason.DEAD_SOURCE
+        assert result.failure_reason(1) is FailureReason.DEAD_TARGET
+        # Dead source is checked before dead target, as in the scalar router.
+        assert result.failure_reason(2) is FailureReason.DEAD_SOURCE
+
+    def test_empty_batch(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        result = BatchGreedyRouter(snapshot).route_pairs([])
+        assert len(result) == 0
+        assert result.success_rate() == 0.0
+        assert result.mean_hops() == 0.0
+
+    def test_shape_mismatch_rejected(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        with pytest.raises(ValueError):
+            BatchGreedyRouter(snapshot).route_batch([1, 2], [3])
+
+    def test_statistics_helpers(self):
+        graph = build_ideal_network(128, seed=6).graph
+        router = BatchGreedyRouter(compile_snapshot(graph))
+        pairs = LookupWorkload(seed=1).pairs(graph.labels(only_alive=True), 50)
+        result = router.route_pairs(pairs)
+        assert result.success_rate() == 1.0
+        assert result.failed_count() == 0
+        assert result.mean_hops() == pytest.approx(float(result.hops.mean()))
+
+    def test_to_route_results_round_trip(self):
+        graph = build_ideal_network(128, seed=7).graph
+        router = BatchGreedyRouter(compile_snapshot(graph))
+        batch = router.route_pairs([(0, 64), (3, 3)], record_paths=True)
+        results = batch.to_route_results()
+        scalar = GreedyRouter(graph, recovery=RecoveryStrategy.TERMINATE)
+        reference = scalar.route(0, 64)
+        assert results[0].success and results[0].path == reference.path
+        assert results[1].hops == 0 and results[1].path == [3]
+
+    def test_hop_limit_enforced(self):
+        # A bare ring (no long links) needs 32 hops for the antipode; a
+        # 1-hop budget must therefore fail with HOP_LIMIT.
+        graph = OverlayGraph(RingMetric(64))
+        for label in range(64):
+            graph.add_node(label)
+        graph.wire_ring()
+        router = BatchGreedyRouter(compile_snapshot(graph), hop_limit=1)
+        result = router.route_batch([0], [32])
+        assert not bool(result.success[0])
+        assert result.failure_reason(0) is FailureReason.HOP_LIMIT
+        assert int(result.hops[0]) == 1
+
+
+class TestFastpathFailures:
+    def test_fraction_mode_exact_count(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        failed = sample_node_failures(snapshot, 0.25, seed=3)
+        assert int(failed.sum()) == round(0.25 * snapshot.num_nodes)
+
+    def test_protect_is_respected(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        protect = [0, 100, 200]
+        failed = sample_node_failures(snapshot, 0.9, protect=protect, seed=4)
+        protected_indices = snapshot.indices_of(protect)
+        assert not failed[protected_indices].any()
+
+    def test_probability_mode_is_binomial_like(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        failed = sample_node_failures(snapshot, 0.5, mode="probability", seed=5)
+        assert 0 < int(failed.sum()) < snapshot.num_nodes
+
+    def test_invalid_mode_rejected(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        with pytest.raises(ValueError):
+            sample_node_failures(snapshot, 0.5, mode="bogus")
+
+    def test_matches_object_failure_model_victims(self):
+        """Same seed, same candidates => same victims as NodeFailureModel."""
+        graph = build_ideal_network(256, seed=9).graph
+        snapshot = compile_snapshot(graph)
+        model = NodeFailureModel(0.3, seed=21)
+        model.apply(graph)
+        failed = sample_node_failures(snapshot, 0.3, seed=21)
+        assert sorted(model.failed_labels) == sorted(
+            snapshot.labels[failed].tolist()
+        )
+        model.repair(graph)
+
+    def test_apply_returns_derived_snapshot(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        derived = apply_node_failures(snapshot, 0.5, seed=6)
+        assert snapshot.alive_count() == snapshot.num_nodes
+        assert derived.alive_count() == snapshot.num_nodes - round(0.5 * snapshot.num_nodes)
+        # Routing over the derived snapshot respects the new liveness.
+        live = derived.labels[derived.alive]
+        result = BatchGreedyRouter(derived).route_batch(live[:10], live[-10:])
+        assert len(result) == 10
+
+
+class TestEngineSelection:
+    def test_supported_recoveries(self):
+        assert supports_recovery(RecoveryStrategy.TERMINATE)
+        assert not supports_recovery(RecoveryStrategy.BACKTRACK)
+        assert not supports_recovery(RecoveryStrategy.RANDOM_REROUTE)
+
+    def test_select_engine_fallback_and_validation(self):
+        assert select_engine("fastpath", RecoveryStrategy.TERMINATE) == "fastpath"
+        assert select_engine("fastpath", RecoveryStrategy.BACKTRACK) == "object"
+        assert select_engine("object", RecoveryStrategy.TERMINATE) == "object"
+        with pytest.raises(ValueError):
+            select_engine("gpu", RecoveryStrategy.TERMINATE)
+
+    def test_route_pairs_with_engine_parity_and_fallback(self):
+        graph = build_ideal_network(128, seed=10).graph
+        pairs = LookupWorkload(seed=3).pairs(graph.labels(only_alive=True), 40)
+        obj = route_pairs_with_engine(graph, pairs, engine="object")
+        fast = route_pairs_with_engine(graph, pairs, engine="fastpath")
+        assert obj == fast
+        # Backtracking falls back to the object engine rather than raising.
+        fallback = route_pairs_with_engine(
+            graph, pairs, engine="fastpath", recovery=RecoveryStrategy.BACKTRACK
+        )
+        reference = route_pairs_with_engine(
+            graph, pairs, engine="object", recovery=RecoveryStrategy.BACKTRACK
+        )
+        assert fallback == reference
+
+
+class TestNetworkHook:
+    def test_compile_fastpath_inherits_configuration(self):
+        network = P2PNetwork(
+            space_size=512,
+            recovery=RecoveryStrategy.TERMINATE,
+            routing_mode=RoutingMode.ONE_SIDED,
+            strict_best_neighbor=True,
+            seed=2,
+        )
+        network.join_many(list(range(0, 512, 4)))
+        router = network.compile_fastpath()
+        assert router.mode is RoutingMode.ONE_SIDED
+        assert router.strict_best_neighbor
+        result = router.route_batch([0, 4], [256, 300])
+        assert len(result) == 2
+
+    def test_compile_fastpath_rejects_unsupported_default(self):
+        network = P2PNetwork(space_size=256, seed=3)  # default: backtracking
+        network.join_many(list(range(0, 256, 4)))
+        with pytest.raises(NotImplementedError):
+            network.compile_fastpath()
+        router = network.compile_fastpath(recovery=RecoveryStrategy.TERMINATE)
+        assert router.recovery is RecoveryStrategy.TERMINATE
+
+    def test_compiled_router_matches_scalar_routing(self):
+        network = P2PNetwork(space_size=1024, seed=4)
+        network.join_many(list(range(0, 1024, 2)))
+        router = network.compile_fastpath(recovery=RecoveryStrategy.TERMINATE)
+        scalar = GreedyRouter(network.graph, recovery=RecoveryStrategy.TERMINATE)
+        pairs = LookupWorkload(seed=5).pairs(network.members(), 30)
+        batch = router.route_pairs(pairs)
+        for index, (source, target) in enumerate(pairs):
+            reference = scalar.route(source, target)
+            assert bool(batch.success[index]) == reference.success
+            assert int(batch.hops[index]) == reference.hops
