@@ -9,6 +9,11 @@ tight tolerance (they are in fact identical on identical seeds).
 
 Run with ``pytest benchmarks/benchmark_fastpath.py --benchmark-only -s`` or
 directly with ``python benchmarks/benchmark_fastpath.py``.
+
+Results are reported through the scenario API's structured
+:class:`~repro.scenarios.RunResult` record and written to
+``BENCH_fastpath.json`` at the repository root, so successive PRs leave a
+machine-readable performance trajectory that can be diffed.
 """
 
 from __future__ import annotations
@@ -92,6 +97,46 @@ def run_comparison(nodes: int = NODES, queries: int = QUERIES, seed: int = SEED)
     }
 
 
+def stats_to_run_result(stats: dict):
+    """Wrap the comparison stats in a structured, JSON-able RunResult."""
+    from repro.experiments.runner import ExperimentTable
+    from repro.scenarios import RunResult, ScenarioSpec, TopologySpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        scenario="bench-fastpath",
+        topology=TopologySpec(kind="ideal", nodes=stats["nodes"]),
+        workload=WorkloadSpec(searches=stats["queries"]),
+        engine="fastpath",
+        seed=SEED,
+    )
+    table = ExperimentTable(
+        title=f"fastpath vs object engine @ n={stats['nodes']}, {stats['queries']} queries",
+        columns=["metric", "value"],
+        notes="queries_per_sec counts routing time alone; end_to_end_speedup "
+        "includes one-off snapshot compilation.",
+    )
+    for key in sorted(stats):
+        table.add_row(key, stats[key])
+    return RunResult(
+        scenario="bench-fastpath",
+        spec=spec,
+        engine_requested="fastpath",
+        engine_used="fastpath",
+        tables=[table],
+        seconds=stats["object_seconds"]
+        + stats["fastpath_compile_seconds"]
+        + stats["fastpath_route_seconds"],
+    )
+
+
+def write_bench_artifact(stats: dict, path: Path | None = None) -> Path:
+    """Write the RunResult JSON artifact (default: BENCH_fastpath.json at repo root)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+    path.write_text(stats_to_run_result(stats).to_json() + "\n", encoding="utf-8")
+    return path
+
+
 def check_agreement_and_speedup(stats: dict) -> None:
     """The acceptance assertions: >= 10x throughput, matching statistics."""
     # Statistical agreement — the engines are hop-for-hop compatible, so the
@@ -144,11 +189,15 @@ def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
     print(_report(stats))
     for key, value in stats.items():
         benchmark.extra_info[key] = value
+    artifact = write_bench_artifact(stats)
+    print(f"  artifact: {artifact}")
     check_agreement_and_speedup(stats)
 
 
 if __name__ == "__main__":
     result = run_comparison()
     print(_report(result))
+    artifact = write_bench_artifact(result)
+    print(f"  artifact: {artifact}")
     check_agreement_and_speedup(result)
     print("\nall assertions passed (>= 10x throughput, statistics agree)")

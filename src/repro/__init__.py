@@ -12,8 +12,11 @@ Systems* (Aspnes, Diamadi, Shah; PODC 2002).  The library provides:
   routing layer.
 * ``repro.baselines`` — Chord, Kleinberg-grid, CAN, and Plaxton-style prefix
   routing baselines for comparison.
-* ``repro.experiments`` — the harness regenerating every table and figure of
-  the paper's evaluation.
+* ``repro.scenarios`` — the unified experiment API: declarative
+  ``ScenarioSpec`` records, the ``@register_scenario`` registry, the single
+  ``run(spec) -> RunResult`` entrypoint, and the parallel ``Sweep`` executor.
+* ``repro.experiments`` — the measurement implementations behind the
+  scenarios (the legacy ``run_*`` entry points remain as deprecation shims).
 
 Quickstart
 ----------

@@ -17,6 +17,13 @@ Each module corresponds to one experiment of the evaluation:
 
 Every experiment returns plain dataclasses/dicts and can print a text table,
 so the benchmark harness and the examples reuse the same entry points.
+
+.. deprecated::
+    The ``run_*`` functions are thin shims over :mod:`repro.scenarios` — the
+    declarative spec / registry / sweep API — and are kept for
+    backwards-compatible kwargs and result types.  New code should build a
+    :class:`~repro.scenarios.ScenarioSpec` and call
+    :func:`repro.scenarios.run` (or the ``repro run`` / ``repro sweep`` CLI).
 """
 
 from repro.experiments.ablations import (
@@ -29,7 +36,12 @@ from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.figure7 import Figure7Result, run_figure7
-from repro.experiments.runner import ExperimentTable, format_table
+from repro.experiments.runner import (
+    EngineRouteResult,
+    ExperimentTable,
+    FastpathFallbackWarning,
+    format_table,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
@@ -47,5 +59,7 @@ __all__ = [
     "run_byzantine_experiment",
     "run_baseline_comparison",
     "ExperimentTable",
+    "EngineRouteResult",
+    "FastpathFallbackWarning",
     "format_table",
 ]

@@ -27,7 +27,7 @@ from repro.core.construction import (
 )
 from repro.core.failures import ByzantineBehavior, ByzantineModel, NodeFailureModel
 from repro.core.routing import GreedyRouter, RecoveryStrategy
-from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure5 import _run_figure5_impl
 from repro.experiments.runner import ExperimentTable
 from repro.simulation.workload import LookupWorkload
 
@@ -45,7 +45,31 @@ def run_replacement_ablation(
     networks: int = 3,
     seed: int = 0,
 ) -> ExperimentTable:
-    """Compare link-replacement policies by distribution error (Section 5 ablation)."""
+    """Compare link-replacement policies by distribution error (Section 5 ablation).
+
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"ablation-replacement"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import ablation_replacement_spec
+
+    spec = ablation_replacement_spec(
+        nodes=nodes, links_per_node=links_per_node, networks=networks, seed=seed
+    )
+    return run(spec).raw
+
+
+def _run_replacement_ablation_impl(
+    nodes: int = 1 << 10,
+    links_per_node: int | None = None,
+    networks: int = 3,
+    seed: int = 0,
+) -> ExperimentTable:
+    """The replacement-policy ablation (scenario ``"ablation-replacement"``)."""
     policies = {
         "inverse-distance": InverseDistanceReplacement(),
         "oldest-link": OldestLinkReplacement(),
@@ -57,7 +81,7 @@ def run_replacement_ablation(
         notes="The paper reports inverse-distance and oldest-link are nearly indistinguishable.",
     )
     for name, policy in policies.items():
-        result = run_figure5(
+        result = _run_figure5_impl(
             nodes=nodes,
             links_per_node=links_per_node,
             networks=networks,
@@ -75,7 +99,36 @@ def run_backtrack_depth_ablation(
     searches: int = 300,
     seed: int = 0,
 ) -> ExperimentTable:
-    """Sweep the backtracking history depth (the paper fixes it at 5)."""
+    """Sweep the backtracking history depth (the paper fixes it at 5).
+
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"ablation-backtrack"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import ablation_backtrack_spec
+
+    spec = ablation_backtrack_spec(
+        nodes=nodes,
+        depths=depths,
+        failure_level=failure_level,
+        searches=searches,
+        seed=seed,
+    )
+    return run(spec).raw
+
+
+def _run_backtrack_depth_ablation_impl(
+    nodes: int = 1 << 12,
+    depths: list[int] | None = None,
+    failure_level: float = 0.5,
+    searches: int = 300,
+    seed: int = 0,
+) -> ExperimentTable:
+    """The backtrack-depth ablation (scenario ``"ablation-backtrack"``)."""
     if depths is None:
         depths = [1, 2, 5, 10, 20]
     build = build_ideal_network(nodes, seed=seed)
@@ -117,7 +170,31 @@ def run_exponent_ablation(
     searches: int = 300,
     seed: int = 0,
 ) -> ExperimentTable:
-    """Sweep the power-law exponent; exponent 1 should minimise hops on the line."""
+    """Sweep the power-law exponent; exponent 1 should minimise hops on the line.
+
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"ablation-exponent"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import ablation_exponent_spec
+
+    spec = ablation_exponent_spec(
+        nodes=nodes, exponents=exponents, searches=searches, seed=seed
+    )
+    return run(spec).raw
+
+
+def _run_exponent_ablation_impl(
+    nodes: int = 1 << 12,
+    exponents: list[float] | None = None,
+    searches: int = 300,
+    seed: int = 0,
+) -> ExperimentTable:
+    """The exponent ablation (scenario ``"ablation-exponent"``)."""
     if exponents is None:
         exponents = [0.0, 0.5, 1.0, 1.5, 2.0]
     table = ExperimentTable(
@@ -153,6 +230,37 @@ def run_byzantine_experiment(
     seed: int = 0,
 ) -> ExperimentTable:
     """Failed searches vs fraction of Byzantine nodes, plain vs redundant routing.
+
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"byzantine"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import byzantine_spec
+
+    spec = byzantine_spec(
+        nodes=nodes,
+        fractions=fractions,
+        behavior=behavior,
+        redundancy=redundancy,
+        searches=searches,
+        seed=seed,
+    )
+    return run(spec).raw
+
+
+def _run_byzantine_experiment_impl(
+    nodes: int = 1 << 11,
+    fractions: list[float] | None = None,
+    behavior: str = ByzantineBehavior.DROP,
+    redundancy: int = 3,
+    searches: int = 200,
+    seed: int = 0,
+) -> ExperimentTable:
+    """The Byzantine-routing extension (scenario ``"byzantine"``).
 
     This is the Section-7 future-work extension: plain greedy routing fails
     whenever a compromised node sits on the greedy path, while redundant

@@ -49,6 +49,30 @@ def run_baseline_comparison(
 ) -> ExperimentTable:
     """Compare all systems at ``n = 2^bits`` nodes (grids use the nearest square).
 
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"baselines"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import baselines_spec
+
+    spec = baselines_spec(
+        bits=bits, searches=searches, failure_level=failure_level, seed=seed
+    )
+    return run(spec).raw
+
+
+def _run_baseline_comparison_impl(
+    bits: int = 10,
+    searches: int = 200,
+    failure_level: float = 0.3,
+    seed: int = 0,
+) -> ExperimentTable:
+    """The baseline comparison (executed via the ``"baselines"`` scenario).
+
     Each system is measured twice: on the intact network and after failing
     ``failure_level`` of its nodes uniformly at random (without running any
     repair protocol, as in the paper's experiments).

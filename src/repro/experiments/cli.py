@@ -1,60 +1,149 @@
 """Command-line entry point for the experiment harness.
 
-Run any of the paper's experiments from a shell::
+The CLI is collapsed onto the scenario registry: any registered scenario runs
+through three generic subcommands::
 
-    python -m repro.experiments.cli figure5 --nodes 4096 --networks 5
+    repro list                                         # what can I run?
+    repro run figure7 --set topology.nodes=4096 --engine fastpath
+    repro sweep figure7 --grid engine=object,fastpath \\
+                        --grid topology.nodes=1024,4096 --jobs 4 \\
+                        --output sweep.json
+
+(``repro`` is the installed console script; ``python -m
+repro.experiments.cli`` works from a checkout.)  ``--set key=value`` overrides
+any spec field by dotted path, ``--grid key=v1,v2`` adds a sweep axis, and
+``--format text|json|csv`` picks the output encoding.  Sweeps derive a
+deterministic per-cell seed from ``--seed``, so ``--jobs N`` parallelism
+produces byte-identical JSON to a serial run.
+
+The historical per-figure subcommands (``figure5`` ... ``baselines``,
+``route-bench``, ``all``) are kept as aliases; they run through the same
+scenario layer::
+
     python -m repro.experiments.cli figure6 --nodes 8192 --searches 500
     python -m repro.experiments.cli figure7 --engine fastpath
-    python -m repro.experiments.cli table1
-    python -m repro.experiments.cli ablations
-    python -m repro.experiments.cli baselines --bits 12
-    python -m repro.experiments.cli route-bench --nodes 10000 --queries 10000
-    python -m repro.experiments.cli all
-
-Each command prints the regenerated series as aligned text tables (the same
-output the benchmarks produce) so results can be diffed or piped into other
-tools.  The routing experiments accept ``--engine {object,fastpath}`` to pick
-between the scalar per-query router and the batched array engine
-(:mod:`repro.fastpath`); ``route-bench`` measures the raw throughput gap
-between the two.
+    python -m repro.experiments.cli table1 --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
+from repro.core.routing import RecoveryStrategy, RoutingMode
 from repro.experiments.ablations import (
     run_backtrack_depth_ablation,
     run_byzantine_experiment,
     run_exponent_ablation,
     run_replacement_ablation,
 )
-from repro.core.routing import RecoveryStrategy, RoutingMode
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
+from repro.experiments.runner import ExperimentTable, tables_to_csv
 from repro.experiments.table1 import run_table1
 
 __all__ = ["build_parser", "main"]
+
+FORMATS = ("text", "json", "csv")
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro",
         description="Regenerate the tables and figures of Aspnes, Diamadi & Shah (PODC 2002).",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_format_option(subparser, choices: Sequence[str] = FORMATS) -> None:
+        subparser.add_argument(
+            "--format",
+            choices=tuple(choices),
+            default="text",
+            help="output encoding (default: aligned text tables)",
+        )
+
+    # -- generic scenario commands ------------------------------------------
+
+    list_command = subparsers.add_parser(
+        "list", help="list every registered scenario with its description"
+    )
+    add_format_option(list_command, ("text", "json"))
+
+    run_command = subparsers.add_parser(
+        "run", help="run any registered scenario from its declarative spec"
+    )
+    run_command.add_argument("scenario", help="registered scenario name (see `repro list`)")
+    run_command.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path, e.g. topology.nodes=4096, "
+        "routing.recovery=terminate, extras.sizes=256,512",
+    )
+    run_command.add_argument(
+        "--engine",
+        choices=("object", "fastpath"),
+        default=None,
+        help="shorthand for --set engine=...",
+    )
+    run_command.add_argument(
+        "--output", default=None, metavar="PATH", help="also write the RunResult JSON here"
+    )
+    add_format_option(run_command)
+
+    sweep_command = subparsers.add_parser(
+        "sweep", help="expand a parameter grid over a scenario and run every cell"
+    )
+    sweep_command.add_argument("scenario", help="registered scenario name (see `repro list`)")
+    sweep_command.add_argument(
+        "--grid",
+        dest="grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="one sweep axis; repeat for a cartesian product",
+    )
+    sweep_command.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fixed override applied to every cell",
+    )
+    sweep_command.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial; results identical)"
+    )
+    sweep_command.add_argument(
+        "--output", default=None, metavar="PATH", help="also write the sweep JSON here"
+    )
+    sweep_command.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="reuse matching cells from a previously saved sweep JSON",
+    )
+    sweep_command.add_argument(
+        "--include-timing", action="store_true",
+        help="keep per-cell wall-clock in the JSON (breaks byte-identical diffs)",
+    )
+    add_format_option(sweep_command, ("text", "json"))
+
+    # -- legacy per-figure aliases ------------------------------------------
+
     figure5 = subparsers.add_parser("figure5", help="link-length distribution of the §5 heuristic")
     figure5.add_argument("--nodes", type=int, default=1 << 12)
     figure5.add_argument("--links", type=int, default=None)
     figure5.add_argument("--networks", type=int, default=3)
+    add_format_option(figure5)
 
     def add_engine_option(subparser) -> None:
         subparser.add_argument(
@@ -70,12 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure6.add_argument("--nodes", type=int, default=1 << 12)
     figure6.add_argument("--searches", type=int, default=250)
     add_engine_option(figure6)
+    add_format_option(figure6)
 
     figure7 = subparsers.add_parser("figure7", help="constructed vs ideal network under failures")
     figure7.add_argument("--nodes", type=int, default=1 << 11)
     figure7.add_argument("--searches", type=int, default=200)
     figure7.add_argument("--iterations", type=int, default=2)
     add_engine_option(figure7)
+    add_format_option(figure7)
 
     table1 = subparsers.add_parser("table1", help="measured delivery time vs Table-1 bound shapes")
     table1.add_argument("--searches", type=int, default=150)
@@ -86,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery strategy for every Table-1 measurement",
     )
     add_engine_option(table1)
+    add_format_option(table1)
 
     bench = subparsers.add_parser(
         "route-bench",
@@ -107,22 +199,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of nodes to fail before routing",
     )
     add_engine_option(bench)
+    add_format_option(bench)
 
-    subparsers.add_parser("ablations", help="replacement-policy, backtrack-depth, exponent, Byzantine ablations")
+    ablations = subparsers.add_parser(
+        "ablations", help="replacement-policy, backtrack-depth, exponent, Byzantine ablations"
+    )
+    add_format_option(ablations)
 
     baselines = subparsers.add_parser("baselines", help="Chord / Kleinberg / CAN / Plaxton comparison")
     baselines.add_argument("--bits", type=int, default=10)
     baselines.add_argument("--searches", type=int, default=200)
+    add_format_option(baselines)
 
     subparsers.add_parser("all", help="run every experiment at its default scale")
     return parser
+
+
+# ---------------------------------------------------------------------------
+# Output encoding
+# ---------------------------------------------------------------------------
+
+
+def _emit_tables(tables: Sequence[ExperimentTable], output_format: str = "text") -> None:
+    """Print result tables in the requested encoding."""
+    if output_format == "json":
+        print(json.dumps([table.to_json_dict() for table in tables], indent=2, sort_keys=True))
+    elif output_format == "csv":
+        print(tables_to_csv(tables), end="")
+    else:
+        print("\n\n".join(table.to_text() for table in tables))
+
+
+def _parse_overrides(tokens: Sequence[str]) -> dict[str, str]:
+    from repro.scenarios import parse_assignment
+
+    overrides: dict[str, str] = {}
+    for token in tokens:
+        key, value = parse_assignment(token)
+        overrides[key] = value
+    return overrides
+
+
+# ---------------------------------------------------------------------------
+# Generic scenario commands
+# ---------------------------------------------------------------------------
+
+
+def _run_list(args) -> None:
+    from repro.scenarios import available_scenarios
+
+    definitions = available_scenarios()
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(
+            [{"name": d.name, "description": d.description} for d in definitions],
+            indent=2,
+            sort_keys=True,
+        ))
+        return
+    width = max(len(d.name) for d in definitions)
+    print("Registered scenarios (run with `repro run <name>`):")
+    for definition in definitions:
+        print(f"  {definition.name.ljust(width)}  {definition.description}")
+
+
+def _run_scenario(args) -> None:
+    from repro.scenarios import get_scenario, run
+
+    overrides = _parse_overrides(args.overrides)
+    if args.engine is not None and "engine" not in overrides:
+        overrides["engine"] = args.engine
+    definition = get_scenario(args.scenario)
+    spec = definition.make_spec(overrides=overrides, seed=args.seed)
+    result = run(spec)
+    if args.output:
+        Path(args.output).write_text(result.to_json() + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "csv":
+        print(result.to_csv(), end="")
+    else:
+        print(result.to_text())
+
+
+def _run_sweep(args) -> None:
+    from repro.scenarios import Sweep, SweepResult
+
+    grid: dict[str, list[str]] = {}
+    for token in args.grid:
+        key, values = next(iter(_parse_overrides([token]).items()))
+        grid[key] = values.split(",")
+    sweep = Sweep(
+        args.scenario,
+        grid=grid,
+        base=_parse_overrides(args.overrides),
+        master_seed=args.seed,
+    )
+    resume = SweepResult.load(args.resume) if args.resume else None
+    result = sweep.run(jobs=args.jobs, resume=resume)
+    if args.output:
+        result.save(args.output, include_timing=args.include_timing)
+    if args.format == "json":
+        print(result.to_json(include_timing=args.include_timing))
+    else:
+        print(result.to_text())
+
+
+# ---------------------------------------------------------------------------
+# Legacy per-figure aliases
+# ---------------------------------------------------------------------------
 
 
 def _run_figure5(args) -> None:
     result = run_figure5(
         nodes=args.nodes, links_per_node=args.links, networks=args.networks, seed=args.seed
     )
-    print(result.to_table(max_rows=20).to_text())
+    _emit_tables([result.to_table(max_rows=20)], args.format)
 
 
 def _run_figure6(args) -> None:
@@ -132,10 +323,7 @@ def _run_figure6(args) -> None:
         seed=args.seed,
         engine=getattr(args, "engine", "object"),
     )
-    table_a, table_b = result.to_tables()
-    print(table_a.to_text())
-    print()
-    print(table_b.to_text())
+    _emit_tables(list(result.to_tables()), args.format)
 
 
 def _run_figure7(args) -> None:
@@ -146,7 +334,7 @@ def _run_figure7(args) -> None:
         seed=args.seed,
         engine=getattr(args, "engine", "object"),
     )
-    print(result.to_table().to_text())
+    _emit_tables([result.to_table()], args.format)
 
 
 def _run_table1(args) -> None:
@@ -156,7 +344,7 @@ def _run_table1(args) -> None:
         recovery=RecoveryStrategy(getattr(args, "recovery", "backtrack")),
         engine=getattr(args, "engine", "object"),
     )
-    print(result.to_text())
+    _emit_tables(result.tables(), args.format)
 
 
 def _run_route_bench(args) -> None:
@@ -166,7 +354,7 @@ def _run_route_bench(args) -> None:
     from repro.core.builder import build_ideal_network
     from repro.core.failures import NodeFailureModel
     from repro.core.routing import GreedyRouter
-    from repro.experiments.runner import ExperimentTable, route_sample
+    from repro.experiments.runner import route_sample
     from repro.fastpath import BatchGreedyRouter, compile_snapshot
     from repro.simulation.workload import LookupWorkload
 
@@ -224,21 +412,38 @@ def _run_route_bench(args) -> None:
         successes / len(pairs),
         hops,
     )
-    print(table.to_text())
+    _emit_tables([table], args.format)
 
 
 def _run_ablations(args) -> None:
-    print(run_replacement_ablation(seed=args.seed).to_text())
-    print()
-    print(run_backtrack_depth_ablation(seed=args.seed).to_text())
-    print()
-    print(run_exponent_ablation(seed=args.seed).to_text())
-    print()
-    print(run_byzantine_experiment(seed=args.seed).to_text())
+    tables = [
+        run_replacement_ablation(seed=args.seed),
+        run_backtrack_depth_ablation(seed=args.seed),
+        run_exponent_ablation(seed=args.seed),
+        run_byzantine_experiment(seed=args.seed),
+    ]
+    _emit_tables(tables, args.format)
 
 
 def _run_baselines(args) -> None:
-    print(run_baseline_comparison(bits=args.bits, searches=args.searches, seed=args.seed).to_text())
+    _emit_tables(
+        [run_baseline_comparison(bits=args.bits, searches=args.searches, seed=args.seed)],
+        args.format,
+    )
+
+
+_DISPATCH = {
+    "list": _run_list,
+    "run": _run_scenario,
+    "sweep": _run_sweep,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "table1": _run_table1,
+    "ablations": _run_ablations,
+    "baselines": _run_baselines,
+    "route-bench": _run_route_bench,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -246,21 +451,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command == "figure5":
-        _run_figure5(args)
-    elif args.command == "figure6":
-        _run_figure6(args)
-    elif args.command == "figure7":
-        _run_figure7(args)
-    elif args.command == "table1":
-        _run_table1(args)
-    elif args.command == "ablations":
-        _run_ablations(args)
-    elif args.command == "baselines":
-        _run_baselines(args)
-    elif args.command == "route-bench":
-        _run_route_bench(args)
-    elif args.command == "all":
+    if args.command == "all":
         defaults = build_parser()
         for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines"):
             print("=" * 78)
@@ -272,21 +463,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             sub_args.seed = args.seed
             main_dispatch(sub_args)
             print()
+    else:
+        main_dispatch(args)
     return 0
 
 
 def main_dispatch(args) -> None:
     """Dispatch a parsed namespace to its runner (used by the ``all`` command)."""
-    dispatch = {
-        "figure5": _run_figure5,
-        "figure6": _run_figure6,
-        "figure7": _run_figure7,
-        "table1": _run_table1,
-        "ablations": _run_ablations,
-        "baselines": _run_baselines,
-        "route-bench": _run_route_bench,
-    }
-    dispatch[args.command](args)
+    _DISPATCH[args.command](args)
 
 
 if __name__ == "__main__":

@@ -109,6 +109,13 @@ def run_figure5(
 ) -> Figure5Result:
     """Reproduce Figure 5(a)/(b).
 
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"figure5"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+
     Parameters
     ----------
     nodes:
@@ -122,6 +129,38 @@ def run_figure5(
     seed:
         Base seed; network ``i`` uses ``seed + i``.
     """
+    from repro.scenarios import run
+    from repro.scenarios.library import figure5_spec, policy_name
+
+    name = policy_name(replacement_policy)
+    if name is None:
+        # A custom policy object cannot be expressed as declarative spec
+        # data; run the implementation directly.
+        return _run_figure5_impl(
+            nodes=nodes,
+            links_per_node=links_per_node,
+            networks=networks,
+            replacement_policy=replacement_policy,
+            seed=seed,
+        )
+    spec = figure5_spec(
+        nodes=nodes,
+        links_per_node=links_per_node,
+        networks=networks,
+        replacement_policy=name,
+        seed=seed,
+    )
+    return run(spec).raw
+
+
+def _run_figure5_impl(
+    nodes: int = 1 << 11,
+    links_per_node: int | None = None,
+    networks: int = 5,
+    replacement_policy: LinkReplacementPolicy | None = None,
+    seed: int = 0,
+) -> Figure5Result:
+    """The Figure-5 measurement (executed via the ``"figure5"`` scenario)."""
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
     if replacement_policy is None:

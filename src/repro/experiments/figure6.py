@@ -82,15 +82,48 @@ def run_figure6(
 ) -> Figure6Result:
     """Reproduce Figure 6(a)/(b).
 
-    The network is built once per failure level (as in the paper, "in each
-    simulation, the network is set up afresh"), the failure model removes the
-    requested fraction of nodes, and every strategy routes the same
-    source/destination pairs so the comparison is paired.
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"figure6"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
 
     With ``engine="fastpath"`` the terminate strategy runs on the batched
     array engine (identical statistics, far faster at scale); the stateful
     re-route and backtracking strategies automatically stay on the object
     engine, so mixed sweeps remain a single call.
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import figure6_spec
+
+    spec = figure6_spec(
+        nodes=nodes,
+        links_per_node=links_per_node,
+        failure_levels=failure_levels,
+        searches_per_point=searches_per_point,
+        strategies=tuple(strategy.value for strategy in strategies),
+        seed=seed,
+        engine=engine,
+    )
+    return run(spec).raw
+
+
+def _run_figure6_impl(
+    nodes: int = 1 << 12,
+    links_per_node: int | None = None,
+    failure_levels: list[float] | None = None,
+    searches_per_point: int = 200,
+    strategies=DEFAULT_STRATEGIES,
+    seed: int = 0,
+    engine: str = "object",
+) -> Figure6Result:
+    """The Figure-6 measurement (executed via the ``"figure6"`` scenario).
+
+    The network is built once per failure level (as in the paper, "in each
+    simulation, the network is set up afresh"), the failure model removes the
+    requested fraction of nodes, and every strategy routes the same
+    source/destination pairs so the comparison is paired.
     """
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
@@ -109,6 +142,7 @@ def run_figure6(
             "engine": engine,
         },
     )
+    engines_used: dict[str, str] = {}
 
     for level_index, level in enumerate(failure_levels):
         build = build_ideal_network(
@@ -130,7 +164,7 @@ def run_figure6(
             snapshot = compile_snapshot(graph)
 
         for strategy in strategies:
-            failures, hops = route_pairs_with_engine(
+            outcome = route_pairs_with_engine(
                 graph,
                 pairs,
                 engine=engine,
@@ -138,10 +172,12 @@ def run_figure6(
                 seed=seed + 3000 + level_index,
                 snapshot=snapshot,
             )
-            result.failed_fraction[strategy.value].append(failures / len(pairs))
+            engines_used[strategy.value] = outcome.engine_used
+            result.failed_fraction[strategy.value].append(outcome.failures / len(pairs))
             result.mean_hops[strategy.value].append(
-                float(np.mean(hops)) if hops else 0.0
+                float(np.mean(outcome.hops)) if outcome.hops else 0.0
             )
         failure_model.repair(graph)
 
+    result.parameters["engine_used"] = engines_used
     return result

@@ -53,10 +53,10 @@ class Figure7Result:
 
 def _failed_fraction(graph, pairs, recovery, seed, engine) -> float:
     """Fraction of the given searches that fail on ``graph``."""
-    failures, _hops = route_pairs_with_engine(
+    outcome = route_pairs_with_engine(
         graph, pairs, engine=engine, recovery=recovery, seed=seed
     )
-    return failures / len(pairs)
+    return outcome.failures / len(pairs)
 
 
 def run_figure7(
@@ -71,15 +71,50 @@ def run_figure7(
 ) -> Figure7Result:
     """Reproduce Figure 7.
 
-    For each failure level and iteration, an ideal and a heuristically
-    constructed network of the same size are built, the same fraction of nodes
-    fails in each, and the same number of random searches is routed; the
-    failed-search fractions are averaged over iterations.
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"figure7"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
 
     The default terminate recovery is exactly the configuration the fastpath
     engine accelerates, so ``engine="fastpath"`` speeds up the whole sweep
     with identical statistics (other recovery strategies fall back to the
     object engine per the :mod:`repro.fastpath` contract).
+    """
+    from repro.scenarios import run
+    from repro.scenarios.library import figure7_spec
+
+    spec = figure7_spec(
+        nodes=nodes,
+        links_per_node=links_per_node,
+        failure_levels=failure_levels,
+        searches_per_point=searches_per_point,
+        iterations=iterations,
+        recovery=recovery.value,
+        seed=seed,
+        engine=engine,
+    )
+    return run(spec).raw
+
+
+def _run_figure7_impl(
+    nodes: int = 1 << 11,
+    links_per_node: int | None = None,
+    failure_levels: list[float] | None = None,
+    searches_per_point: int = 200,
+    iterations: int = 2,
+    recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE,
+    seed: int = 0,
+    engine: str = "object",
+) -> Figure7Result:
+    """The Figure-7 measurement (executed via the ``"figure7"`` scenario).
+
+    For each failure level and iteration, an ideal and a heuristically
+    constructed network of the same size are built, the same fraction of nodes
+    fails in each, and the same number of random searches is routed; the
+    failed-search fractions are averaged over iterations.
     """
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
@@ -98,6 +133,9 @@ def run_figure7(
             "engine": engine,
         },
     )
+    from repro.fastpath import select_engine
+
+    result.parameters["engine_used"] = select_engine(engine, recovery)
 
     # Build the networks once per iteration and reuse them across failure
     # levels (failures are repaired after each level), which matches the

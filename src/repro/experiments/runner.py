@@ -11,23 +11,66 @@ one Python hop at a time) or ``engine="fastpath"`` (the batched NumPy engine
 of :mod:`repro.fastpath`).  :func:`route_pairs_with_engine` is the single
 place that arbitrates between them: for the configurations fastpath supports
 (terminate recovery, either routing mode) the two engines produce identical
-statistics, and for unsupported recovery strategies the call silently falls
-back to the object engine so mixed-strategy sweeps keep working.
+statistics.  For unsupported recovery strategies the call falls back to the
+object engine so mixed-strategy sweeps keep working, but the downgrade is no
+longer silent — the returned :class:`EngineRouteResult` records the engine
+actually used and a :class:`FastpathFallbackWarning` is emitted.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 from repro.core.routing import GreedyRouter, RecoveryStrategy, RoutingMode
 
 __all__ = [
     "ExperimentTable",
+    "EngineRouteResult",
+    "FastpathFallbackWarning",
     "format_table",
+    "jsonify_value",
+    "tables_to_csv",
     "route_sample",
     "route_pairs_with_engine",
 ]
+
+
+class FastpathFallbackWarning(RuntimeWarning):
+    """Emitted when a requested ``engine="fastpath"`` run is downgraded.
+
+    The fastpath engine only implements the terminate recovery strategy;
+    requesting it together with random re-route or backtracking silently used
+    to route through the object engine.  The fallback still happens (sweeps
+    that mix strategies must not fail half-way), but it is now observable:
+    this warning fires and :class:`EngineRouteResult.engine_used` reports
+    ``"object"``.
+    """
+
+
+def jsonify_value(value: Any) -> Any:
+    """Convert ``value`` to a JSON-serialisable equivalent.
+
+    NumPy scalars and arrays are converted to native Python numbers/lists so
+    result tables built from array computations serialise cleanly; anything
+    already JSON-native passes through, everything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        # NumPy zero-dimensional scalar (np.int64, np.float64, ...).
+        return jsonify_value(value.item())
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [jsonify_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonify_value(item) for key, item in value.items()}
+    return str(value)
 
 
 @dataclass
@@ -59,8 +102,60 @@ class ExperimentTable:
         """Render the table as aligned monospace text."""
         return format_table(self.title, self.columns, self.rows, notes=self.notes)
 
+    def to_csv(self) -> str:
+        """Render the table as RFC-4180 CSV (header row + data rows).
+
+        The title and notes are metadata, not data, and are omitted; use
+        :meth:`to_json` when the full record is needed.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([jsonify_value(value) for value in row])
+        return buffer.getvalue()
+
+    def to_json_dict(self) -> dict:
+        """Return the table as a JSON-serialisable dict."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[jsonify_value(value) for value in row] for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the table to a JSON string (deterministic key order)."""
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_json_dict` output."""
+        table = cls(
+            title=data["title"],
+            columns=list(data["columns"]),
+            notes=data.get("notes", ""),
+        )
+        for row in data["rows"]:
+            table.add_row(*row)
+        return table
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentTable":
+        """Rebuild a table from a :meth:`to_json` string."""
+        return cls.from_json_dict(json.loads(text))
+
     def __str__(self) -> str:
         return self.to_text()
+
+
+def tables_to_csv(tables: Sequence["ExperimentTable"]) -> str:
+    """Render tables as CSV; multiple tables become ``#``-titled blocks."""
+    blocks = []
+    for table in tables:
+        prefix = f"# {table.title}\n" if len(tables) > 1 else ""
+        blocks.append(prefix + table.to_csv())
+    return "\n".join(blocks)
 
 
 def format_table(
@@ -108,6 +203,20 @@ def route_sample(graph, router, pairs) -> tuple[int, list[int]]:
     return failures, hops
 
 
+class EngineRouteResult(NamedTuple):
+    """Outcome of :func:`route_pairs_with_engine`.
+
+    ``failures`` and ``hops`` match the old ``(failures, hops)`` tuple;
+    ``engine_used`` records which engine actually routed the pairs — it can
+    differ from the requested engine when a fastpath request is downgraded
+    because the recovery strategy is unsupported.
+    """
+
+    failures: int
+    hops: list[int]
+    engine_used: str
+
+
 def route_pairs_with_engine(
     graph,
     pairs,
@@ -117,11 +226,12 @@ def route_pairs_with_engine(
     strict_best_neighbor: bool = False,
     seed: int = 0,
     snapshot=None,
-) -> tuple[int, list[int]]:
+) -> EngineRouteResult:
     """Route every pair through the requested engine.
 
-    Returns ``(failures, hops_of_successes)`` regardless of engine, so
-    experiment code is engine-agnostic.
+    Returns an :class:`EngineRouteResult` ``(failures, hops_of_successes,
+    engine_used)`` regardless of engine, so experiment code is
+    engine-agnostic.
 
     Parameters
     ----------
@@ -132,7 +242,9 @@ def route_pairs_with_engine(
     engine:
         ``"object"`` or ``"fastpath"``.  A fastpath request with an
         unsupported recovery strategy falls back to the object engine (see
-        :func:`repro.fastpath.select_engine`).
+        :func:`repro.fastpath.select_engine`); the downgrade emits a
+        :class:`FastpathFallbackWarning` and is recorded in the returned
+        ``engine_used`` field.
     snapshot:
         Optional precompiled :class:`~repro.fastpath.FastpathSnapshot` of
         ``graph`` — pass it when several strategies share one topology so the
@@ -143,6 +255,13 @@ def route_pairs_with_engine(
     from repro.fastpath import BatchGreedyRouter, compile_snapshot, select_engine
 
     resolved = select_engine(engine, recovery)
+    if engine == "fastpath" and resolved != "fastpath":
+        warnings.warn(
+            f"engine='fastpath' does not implement recovery strategy "
+            f"{recovery.value!r}; routing through the object engine instead",
+            FastpathFallbackWarning,
+            stacklevel=2,
+        )
     if resolved == "fastpath":
         if snapshot is None:
             snapshot = compile_snapshot(graph)
@@ -153,7 +272,9 @@ def route_pairs_with_engine(
             strict_best_neighbor=strict_best_neighbor,
         )
         result = router.route_pairs(pairs)
-        return result.failed_count(), result.hops[result.success].tolist()
+        return EngineRouteResult(
+            result.failed_count(), result.hops[result.success].tolist(), resolved
+        )
 
     router = GreedyRouter(
         graph=graph,
@@ -162,4 +283,5 @@ def route_pairs_with_engine(
         strict_best_neighbor=strict_best_neighbor,
         seed=seed,
     )
-    return route_sample(graph, router, pairs)
+    failures, hops = route_sample(graph, router, pairs)
+    return EngineRouteResult(failures, hops, resolved)

@@ -31,6 +31,7 @@ from repro.core.failures import LinkFailureModel, NodeFailureModel
 from repro.core.metric import RingMetric
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
+from repro.fastpath import select_engine
 from repro.simulation.workload import LookupWorkload
 
 __all__ = ["Table1Result", "run_table1", "measure_mean_hops"]
@@ -51,11 +52,11 @@ def measure_mean_hops(
     live = graph.labels(only_alive=True)
     workload = LookupWorkload(seed=seed)
     pairs = workload.pairs(live, searches)
-    failures, hops = route_pairs_with_engine(
+    outcome = route_pairs_with_engine(
         graph, pairs, engine=engine, recovery=recovery, seed=seed
     )
-    mean_hops = float(np.mean(hops)) if hops else 0.0
-    return mean_hops, failures / len(pairs)
+    mean_hops = float(np.mean(outcome.hops)) if outcome.hops else 0.0
+    return mean_hops, outcome.failures / len(pairs)
 
 
 @dataclass
@@ -100,6 +101,13 @@ def run_table1(
 ) -> Table1Result:
     """Measure delivery time for every Table-1 model.
 
+    .. deprecated::
+        This is a thin shim over the scenario API: it builds a
+        :class:`~repro.scenarios.ScenarioSpec` and delegates to
+        :func:`repro.scenarios.run` (scenario ``"table1"``), returning
+        identical numbers at a fixed seed.  New code should use the scenario
+        API directly — it adds JSON results, sweeps, and the CLI surface.
+
     Parameters
     ----------
     sizes:
@@ -120,8 +128,36 @@ def run_table1(
     engine:
         ``"object"`` or ``"fastpath"``.  Fastpath accelerates the sweep only
         when ``recovery`` is terminate; with the default backtracking
-        strategy it silently falls back to the object engine.
+        strategy it falls back to the object engine (with a
+        :class:`~repro.experiments.runner.FastpathFallbackWarning`).
     """
+    from repro.scenarios import run
+    from repro.scenarios.library import table1_spec
+
+    spec = table1_spec(
+        sizes=sizes,
+        link_counts=link_counts,
+        bases=bases,
+        probabilities=probabilities,
+        searches=searches,
+        seed=seed,
+        recovery=recovery.value,
+        engine=engine,
+    )
+    return run(spec).raw
+
+
+def _run_table1_impl(
+    sizes: list[int] | None = None,
+    link_counts: list[int] | None = None,
+    bases: list[int] | None = None,
+    probabilities: list[float] | None = None,
+    searches: int = 150,
+    seed: int = 0,
+    recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
+    engine: str = "object",
+) -> Table1Result:
+    """The Table-1 measurement (executed via the ``"table1"`` scenario)."""
     if sizes is None:
         sizes = [1 << k for k in range(8, 13)]
     if link_counts is None:
@@ -271,5 +307,6 @@ def run_table1(
             "seed": seed,
             "recovery": recovery.value,
             "engine": engine,
+            "engine_used": select_engine(engine, recovery),
         },
     )

@@ -1,0 +1,312 @@
+"""Parameter-grid sweeps with deterministic seeding and parallel execution.
+
+A :class:`Sweep` expands a grid of dotted-path overrides (the same syntax as
+``--set``) into cells, derives an independent seed for every cell from the
+master seed via :func:`repro.util.rng.derive_seed`, and executes the cells
+either serially or over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Because each cell's seed depends only on the master seed, the scenario name,
+and the cell's own overrides — never on execution order — a parallel sweep
+produces **byte-identical** JSON to the serial sweep with the same master
+seed.  :meth:`SweepResult.to_json` therefore excludes wall-clock timings by
+default, so saved sweeps can be compared with a plain diff and reused to
+resume an interrupted grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.experiments.runner import jsonify_value
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.run import RunResult, run
+from repro.scenarios.spec import SpecError, coerce_override
+from repro.util.rng import derive_seed
+
+__all__ = ["Sweep", "SweepCellResult", "SweepResult"]
+
+SWEEP_SCHEMA = "repro.scenarios.sweep_result/v1"
+
+
+def _canonical(value: Any) -> str:
+    """A stable, process-independent string form of an override value."""
+    return json.dumps(jsonify_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(overrides: Mapping[str, Any]) -> str:
+    """Canonical identity of one grid cell: sorted ``key=value`` joined by ``|``."""
+    return "|".join(f"{key}={_canonical(value)}" for key, value in sorted(overrides.items()))
+
+
+def _execute_cell(payload: tuple[str, dict, int]) -> dict:
+    """Worker: run one cell, return the RunResult as a JSON dict.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; returns plain
+    dicts (not RunResult objects) so the parent reconstructs every cell the
+    same way regardless of serial or parallel execution.
+    """
+    scenario, overrides, seed = payload
+    definition = get_scenario(scenario)
+    spec = definition.make_spec(overrides=overrides).with_seed(seed)
+    return run(spec).to_json_dict(include_timing=True)
+
+
+@dataclass
+class SweepCellResult:
+    """One executed grid cell."""
+
+    key: str
+    overrides: dict[str, Any]
+    seed: int
+    result: RunResult
+
+    def to_json_dict(self, include_timing: bool = False) -> dict:
+        return {
+            "key": self.key,
+            "overrides": {k: jsonify_value(v) for k, v in sorted(self.overrides.items())},
+            "seed": self.seed,
+            "result": self.result.to_json_dict(include_timing=include_timing),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepCellResult":
+        return cls(
+            key=data["key"],
+            overrides=dict(data["overrides"]),
+            seed=data["seed"],
+            result=RunResult.from_json_dict(data["result"]),
+        )
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, in deterministic grid order."""
+
+    scenario: str
+    master_seed: int
+    grid: dict[str, list[Any]]
+    base: dict[str, Any] = field(default_factory=dict)
+    cells: list[SweepCellResult] = field(default_factory=list)
+
+    def cell(self, key: str) -> SweepCellResult | None:
+        """Look up a cell by its canonical key."""
+        for entry in self.cells:
+            if entry.key == key:
+                return entry
+        return None
+
+    def to_json_dict(self, include_timing: bool = False) -> dict:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "scenario": self.scenario,
+            "master_seed": self.master_seed,
+            "grid": {k: [jsonify_value(v) for v in values] for k, values in sorted(self.grid.items())},
+            "base": {k: jsonify_value(v) for k, v in sorted(self.base.items())},
+            "cells": [cell.to_json_dict(include_timing=include_timing) for cell in self.cells],
+        }
+
+    def to_json(self, indent: int | None = 2, include_timing: bool = False) -> str:
+        """Serialise the sweep; deterministic (timing excluded) by default."""
+        return json.dumps(
+            self.to_json_dict(include_timing=include_timing), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        if data.get("schema", SWEEP_SCHEMA) != SWEEP_SCHEMA:
+            raise SpecError(f"unsupported SweepResult schema {data.get('schema')!r}")
+        return cls(
+            scenario=data["scenario"],
+            master_seed=data["master_seed"],
+            grid={k: list(v) for k, v in data.get("grid", {}).items()},
+            base=dict(data.get("base", {})),
+            cells=[SweepCellResult.from_json_dict(cell) for cell in data.get("cells", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_json_dict(json.loads(text))
+
+    def save(self, path: str | Path, include_timing: bool = False) -> Path:
+        """Write the sweep JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json(include_timing=include_timing) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        """Read a sweep previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def diff(self, other: "SweepResult") -> list[str]:
+        """Human-readable differences against another sweep (empty = identical).
+
+        Compares scenario, master seed, and every cell's deterministic JSON
+        (timings excluded); useful for checking a re-run against a saved
+        baseline.
+        """
+        differences: list[str] = []
+        if self.scenario != other.scenario:
+            differences.append(f"scenario: {self.scenario!r} != {other.scenario!r}")
+        if self.master_seed != other.master_seed:
+            differences.append(f"master_seed: {self.master_seed} != {other.master_seed}")
+        mine = {cell.key: cell for cell in self.cells}
+        theirs = {cell.key: cell for cell in other.cells}
+        for key in sorted(mine.keys() - theirs.keys()):
+            differences.append(f"cell only in self: {key}")
+        for key in sorted(theirs.keys() - mine.keys()):
+            differences.append(f"cell only in other: {key}")
+        for key in sorted(mine.keys() & theirs.keys()):
+            left = json.dumps(mine[key].to_json_dict(), sort_keys=True)
+            right = json.dumps(theirs[key].to_json_dict(), sort_keys=True)
+            if left != right:
+                differences.append(f"cell differs: {key}")
+        return differences
+
+    def to_text(self) -> str:
+        """Render every cell's tables, prefixed by the cell header."""
+        blocks = []
+        for cell in self.cells:
+            header = cell.key or "<base spec>"
+            blocks.append(
+                f"== cell {header} (seed={cell.seed}, engine={cell.result.engine_used})\n"
+                + cell.result.to_text()
+            )
+        return "\n\n".join(blocks)
+
+
+class Sweep:
+    """Expand a parameter grid over one scenario and execute every cell.
+
+    Parameters
+    ----------
+    scenario:
+        Registered scenario name.
+    grid:
+        Mapping of dotted override key to the sequence of values to sweep.
+        The cartesian product of all axes (axes sorted by key, values in the
+        given order) forms the cells; an empty grid is a single-cell sweep.
+    base:
+        Fixed overrides applied to every cell before the cell's own.
+    master_seed:
+        Root of per-cell seed derivation: every cell gets
+        ``derive_seed(master_seed, "sweep", scenario, cell_key)``.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        grid: Mapping[str, Sequence[Any]] | None = None,
+        base: Mapping[str, Any] | None = None,
+        master_seed: int = 0,
+    ) -> None:
+        defaults = get_scenario(scenario).defaults  # fail fast on unknown names
+        self.scenario = scenario
+        # Coerce every value against the scenario's default spec up front, so
+        # CLI strings and typed Python values produce identical cell keys and
+        # therefore identical derived seeds — and unknown keys fail here, not
+        # half-way through a grid.
+        self.grid = {
+            key: [coerce_override(defaults, key, value) for value in values]
+            for key, values in sorted((grid or {}).items())
+        }
+        for key, values in self.grid.items():
+            if not values:
+                raise SpecError(f"grid axis {key!r} has no values")
+        self.base = {
+            key: coerce_override(defaults, key, value)
+            for key, value in (base or {}).items()
+        }
+        self.master_seed = master_seed
+
+    def cells(self) -> list[dict[str, Any]]:
+        """The per-cell override dicts, in deterministic grid order."""
+        axes = list(self.grid.items())
+        combos = itertools.product(*(values for _key, values in axes))
+        return [
+            {**self.base, **{key: value for (key, _values), value in zip(axes, combo)}}
+            for combo in combos
+        ]
+
+    def cell_seed(self, overrides: Mapping[str, Any]) -> int:
+        """Deterministic seed for one cell, independent of execution order."""
+        return derive_seed(self.master_seed, "sweep", self.scenario, cell_key(overrides))
+
+    def run(
+        self,
+        jobs: int = 1,
+        resume: SweepResult | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> SweepResult:
+        """Execute every cell; ``jobs > 1`` fans out over worker processes.
+
+        ``resume`` reuses matching cells (same scenario, master seed, cell
+        key, and seed) from a previously saved sweep instead of re-running
+        them.  Serial and parallel execution produce identical results — the
+        per-cell seeds depend only on the cell, and cells are assembled in
+        grid order either way.
+        """
+        if resume is not None and (
+            resume.scenario != self.scenario or resume.master_seed != self.master_seed
+        ):
+            raise SpecError(
+                "resume sweep does not match: "
+                f"scenario {resume.scenario!r} (want {self.scenario!r}), "
+                f"master_seed {resume.master_seed} (want {self.master_seed})"
+            )
+
+        pending: list[tuple[int, tuple[str, dict, int]]] = []
+        reused: dict[int, SweepCellResult] = {}
+        cell_overrides = self.cells()
+        for index, overrides in enumerate(cell_overrides):
+            key = cell_key(overrides)
+            seed = self.cell_seed(overrides)
+            previous = resume.cell(key) if resume is not None else None
+            if previous is not None and previous.seed == seed:
+                reused[index] = previous
+                if progress:
+                    progress(f"cell {key or '<base>'}: reused from resume")
+            else:
+                pending.append((index, (self.scenario, overrides, seed)))
+
+        executed: dict[int, dict] = {}
+        if pending:
+            if jobs > 1:
+                with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                    for (index, payload), data in zip(
+                        pending, pool.map(_execute_cell, [p for _i, p in pending])
+                    ):
+                        executed[index] = data
+                        if progress:
+                            progress(f"cell {cell_key(payload[1]) or '<base>'}: done")
+            else:
+                for index, payload in pending:
+                    executed[index] = _execute_cell(payload)
+                    if progress:
+                        progress(f"cell {cell_key(payload[1]) or '<base>'}: done")
+
+        cells: list[SweepCellResult] = []
+        for index, overrides in enumerate(cell_overrides):
+            if index in reused:
+                cells.append(reused[index])
+            else:
+                cells.append(
+                    SweepCellResult(
+                        key=cell_key(overrides),
+                        overrides=dict(overrides),
+                        seed=self.cell_seed(overrides),
+                        result=RunResult.from_json_dict(executed[index]),
+                    )
+                )
+        return SweepResult(
+            scenario=self.scenario,
+            master_seed=self.master_seed,
+            grid=self.grid,
+            base=self.base,
+            cells=cells,
+        )

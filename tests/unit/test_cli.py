@@ -32,6 +32,28 @@ class TestParser:
             args = parser.parse_args([command]) if command != "all" else parser.parse_args(["all"])
             assert args.command == command
 
+    def test_scenario_commands_exist(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        args = parser.parse_args(["run", "figure7", "--set", "topology.nodes=128"])
+        assert args.command == "run"
+        assert args.scenario == "figure7"
+        assert args.overrides == ["topology.nodes=128"]
+        args = parser.parse_args(
+            ["sweep", "figure7", "--grid", "engine=object,fastpath", "--jobs", "2"]
+        )
+        assert args.command == "sweep"
+        assert args.grid == ["engine=object,fastpath"]
+        assert args.jobs == 2
+
+    def test_format_option(self):
+        for command in ("figure5", "figure6", "figure7", "table1", "ablations", "baselines"):
+            assert build_parser().parse_args([command]).format == "text"
+        args = build_parser().parse_args(["table1", "--format", "json"])
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5", "--format", "yaml"])
+
     def test_engine_option_defaults_to_object(self):
         for command in ("figure6", "figure7", "table1", "route-bench"):
             args = build_parser().parse_args([command])
@@ -103,3 +125,114 @@ class TestMain:
         )
         assert exit_code == 0
         assert "one-sided" in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("figure5", "figure6", "figure7", "table1", "baselines"):
+            assert name in output
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["list", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {"figure7", "byzantine"} <= {entry["name"] for entry in entries}
+
+    def test_run_scenario_text(self, capsys):
+        exit_code = main(
+            [
+                "run", "figure7",
+                "--set", "topology.nodes=128",
+                "--set", "workload.searches=20",
+                "--set", "workload.iterations=1",
+            ]
+        )
+        assert exit_code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_run_scenario_json_and_output(self, capsys, tmp_path):
+        import json
+
+        output_path = tmp_path / "result.json"
+        exit_code = main(
+            [
+                "--seed", "5",
+                "run", "figure5",
+                "--set", "topology.nodes=128",
+                "--set", "workload.networks=1",
+                "--format", "json",
+                "--output", str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["scenario"] == "figure5"
+        assert printed["spec"]["seed"] == 5
+        assert json.loads(output_path.read_text())["scenario"] == "figure5"
+
+    def test_run_engine_flag_is_spec_shorthand(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "run", "figure7",
+                "--set", "topology.nodes=128",
+                "--set", "workload.searches=10",
+                "--set", "workload.iterations=1",
+                "--set", "routing.recovery=terminate",
+                "--engine", "fastpath",
+                "--format", "json",
+            ]
+        )
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine_requested"] == "fastpath"
+        assert data["engine_used"] == "fastpath"
+
+    def test_run_unknown_scenario_fails_loudly(self):
+        with pytest.raises(KeyError, match="figure99"):
+            main(["run", "figure99"])
+
+    def test_sweep_cli(self, capsys, tmp_path):
+        import json
+
+        output_path = tmp_path / "sweep.json"
+        exit_code = main(
+            [
+                "sweep", "figure7",
+                "--grid", "engine=object,fastpath",
+                "--set", "topology.nodes=128",
+                "--set", "workload.searches=10",
+                "--set", "workload.iterations=1",
+                "--jobs", "2",
+                "--output", str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "== cell" in capsys.readouterr().out
+        data = json.loads(output_path.read_text())
+        assert len(data["cells"]) == 2
+        engines = sorted(cell["result"]["engine_used"] for cell in data["cells"])
+        assert engines == ["fastpath", "object"]
+
+    def test_legacy_format_json(self, capsys):
+        import json
+
+        exit_code = main(
+            ["figure5", "--nodes", "128", "--networks", "1", "--format", "json"]
+        )
+        assert exit_code == 0
+        tables = json.loads(capsys.readouterr().out)
+        assert tables[0]["title"].startswith("Figure 5")
+
+    def test_legacy_format_csv(self, capsys):
+        exit_code = main(
+            ["figure7", "--nodes", "128", "--searches", "10", "--iterations", "1",
+             "--format", "csv"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.splitlines()[0] == "failed_nodes,constructed,ideal"

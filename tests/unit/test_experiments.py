@@ -46,6 +46,27 @@ class TestExperimentTable:
         lines = text.splitlines()
         assert len(lines) >= 4
 
+    def test_json_round_trip(self):
+        import numpy as np
+
+        table = ExperimentTable(title="RT", columns=["n", "hops"], notes="note")
+        table.add_row(np.int64(64), np.float64(3.5))
+        table.add_row(128, 4.25)
+        restored = ExperimentTable.from_json(table.to_json())
+        assert restored.title == "RT"
+        assert restored.columns == ["n", "hops"]
+        assert restored.notes == "note"
+        assert restored.rows == [[64, 3.5], [128, 4.25]]
+        # Serialising again is byte-identical (numpy scalars already native).
+        assert restored.to_json() == table.to_json()
+
+    def test_to_csv(self):
+        table = ExperimentTable(title="T", columns=["a", "b"])
+        table.add_row(1, "x,y")
+        text = table.to_csv()
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == '1,"x,y"'
+
 
 class TestFigure5:
     def test_empirical_distribution_normalised(self):
@@ -88,6 +109,20 @@ class TestFigure6:
             assert result.failed_fraction[strategy][0] == 0.0
         table_a, table_b = result.to_tables()
         assert "6(a)" in table_a.title and "6(b)" in table_b.title
+
+    def test_records_engine_actually_used(self):
+        result = run_figure6(
+            nodes=128,
+            searches_per_point=10,
+            failure_levels=[0.4],
+            seed=0,
+            engine="fastpath",
+        )
+        assert result.parameters["engine_used"] == {
+            "terminate": "fastpath",
+            "random-reroute": "object",
+            "backtrack": "object",
+        }
 
     def test_backtracking_not_worse_than_terminate(self):
         result = run_figure6(
