@@ -1,19 +1,25 @@
 """Benchmark: batched fastpath engine vs the scalar object engine.
 
 Routes the same 10 000 random queries over the same 10 000-node overlay with
-both engines (terminate recovery, two-sided mode — the configuration the
-fastpath contract covers) and reports the throughput gap.  Besides speed,
-the benchmark asserts **statistical agreement**: the two engines are
-hop-for-hop compatible, so success rate and mean delivery time must match to
-tight tolerance (they are in fact identical on identical seeds).
+both engines and reports the throughput gap — for the classic
+failure-free terminate configuration *and*, under 30% node failures, for all
+three Section-6 recovery strategies (terminate, random re-route,
+backtracking).  It also times the direct-to-CSR network build
+(:func:`repro.fastpath.build_snapshot`) against the object build + compile
+path at paper scale (2^17 nodes).  Besides speed, the benchmark asserts
+**statistical agreement**: the engines are hop-for-hop compatible, so
+success rates and mean delivery times must match (they are identical on
+identical seeds), and the two build paths must emit bit-identical snapshots.
 
 Run with ``pytest benchmarks/benchmark_fastpath.py --benchmark-only -s`` or
 directly with ``python benchmarks/benchmark_fastpath.py``.
 
 Results are reported through the scenario API's structured
 :class:`~repro.scenarios.RunResult` record and written to
-``BENCH_fastpath.json`` at the repository root, so successive PRs leave a
-machine-readable performance trajectory that can be diffed.
+``BENCH_fastpath.json`` (engine comparison) and ``BENCH_figure6.json`` (a
+fastpath Figure-6 run plus the recovery-strategy and build speedups) at the
+repository root, so successive PRs leave a machine-readable performance
+trajectory that can be diffed.
 """
 
 from __future__ import annotations
@@ -97,6 +103,92 @@ def run_comparison(nodes: int = NODES, queries: int = QUERIES, seed: int = SEED)
     }
 
 
+def run_strategy_comparison(
+    nodes: int = NODES,
+    queries: int = QUERIES,
+    seed: int = SEED,
+    failure_level: float = 0.3,
+) -> dict:
+    """Benchmark every recovery strategy on both engines under node failures.
+
+    One network, one failure draw, one workload; each strategy routes the
+    same pairs through the scalar router and the batch router.  Returns
+    ``{strategy: {object_seconds, fastpath_seconds, speedup, ...}}``.
+    """
+    from repro.core.failures import NodeFailureModel
+    from repro.fastpath import BatchGreedyRouter
+
+    graph = build_ideal_network(nodes, seed=seed).graph
+    NodeFailureModel(failure_level, seed=seed + 1).apply(graph)
+    live = graph.labels(only_alive=True)
+    pairs = LookupWorkload(seed=seed + 2).pairs(live, queries)
+    snapshot = compile_snapshot(graph)
+
+    results: dict[str, dict] = {}
+    for recovery in RecoveryStrategy:
+        scalar = GreedyRouter(graph, recovery=recovery, seed=seed)
+        started = time.perf_counter()
+        failures = 0
+        hops: list[int] = []
+        for source, target in pairs:
+            route = scalar.route(source, target)
+            if route.success:
+                hops.append(route.hops)
+            else:
+                failures += 1
+        object_seconds = time.perf_counter() - started
+
+        batch = BatchGreedyRouter(
+            snapshot,
+            recovery=recovery,
+            seed=seed,
+            reroute_pool=live if recovery is RecoveryStrategy.RANDOM_REROUTE else None,
+        )
+        started = time.perf_counter()
+        result = batch.route_pairs(pairs)
+        fastpath_seconds = time.perf_counter() - started
+
+        results[recovery.value] = {
+            "object_seconds": object_seconds,
+            "fastpath_seconds": fastpath_seconds,
+            "speedup": object_seconds / fastpath_seconds,
+            "object_success_rate": 1.0 - failures / len(pairs),
+            "fastpath_success_rate": result.success_rate(),
+            "object_mean_hops": float(np.mean(hops)) if hops else 0.0,
+            "fastpath_mean_hops": result.mean_hops(),
+        }
+    return results
+
+
+def run_build_comparison(n: int = 1 << 17, links_per_node: int | None = None, seed: int = SEED) -> dict:
+    """Time the direct-to-CSR build against build + compile at paper scale.
+
+    Also asserts the two paths emit bit-identical snapshots — the direct
+    build's core contract.
+    """
+    from repro.fastpath import build_snapshot
+
+    started = time.perf_counter()
+    direct = build_snapshot(n, links_per_node=links_per_node, seed=seed)
+    direct_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    graph = build_ideal_network(n, links_per_node=links_per_node, seed=seed).graph
+    compiled = compile_snapshot(graph)
+    object_seconds = time.perf_counter() - started
+
+    assert np.array_equal(compiled.labels, direct.labels)
+    assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
+    assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)
+    return {
+        "nodes": n,
+        "direct_build_seconds": direct_seconds,
+        "object_build_plus_compile_seconds": object_seconds,
+        "build_speedup": object_seconds / direct_seconds,
+        "bit_identical": True,
+    }
+
+
 def stats_to_run_result(stats: dict):
     """Wrap the comparison stats in a structured, JSON-able RunResult."""
     from repro.experiments.runner import ExperimentTable
@@ -137,6 +229,60 @@ def write_bench_artifact(stats: dict, path: Path | None = None) -> Path:
     return path
 
 
+def write_figure6_artifact(
+    strategy_stats: dict,
+    build_stats: dict,
+    nodes: int = 1 << 14,
+    searches: int = 2000,
+    path: Path | None = None,
+) -> Path:
+    """Run Figure 6 on the fastpath engine and persist ``BENCH_figure6.json``.
+
+    The artifact is the scenario :class:`~repro.scenarios.RunResult` of a
+    full-coverage fastpath Figure-6 run (all three strategies, failure levels
+    0 .. 0.8) with two benchmark tables appended: the per-strategy engine
+    speedups and the direct-build comparison.  Together with
+    ``BENCH_fastpath.json`` it forms the cross-PR performance trajectory.
+    """
+    from repro.experiments.runner import ExperimentTable
+    from repro.scenarios import run
+    from repro.scenarios.library import figure6_spec
+
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_figure6.json"
+
+    spec = figure6_spec(
+        nodes=nodes, searches_per_point=searches, seed=SEED, engine="fastpath"
+    )
+    record = run(spec)
+    assert record.engine_used == "fastpath", record.engine_used
+
+    strategy_table = ExperimentTable(
+        title=f"recovery-strategy engine speedups @ n={NODES}, {QUERIES} queries, 30% failed nodes",
+        columns=["strategy", "object_s", "fastpath_s", "speedup", "success_rate", "mean_hops"],
+        notes="object and fastpath statistics are identical at the same seed; "
+        "only one copy of each is shown.",
+    )
+    for strategy, stats in strategy_stats.items():
+        strategy_table.add_row(
+            strategy,
+            stats["object_seconds"],
+            stats["fastpath_seconds"],
+            stats["speedup"],
+            stats["fastpath_success_rate"],
+            stats["fastpath_mean_hops"],
+        )
+    build_table = ExperimentTable(
+        title=f"direct-to-CSR build vs object build + compile @ n={build_stats['nodes']}",
+        columns=["metric", "value"],
+    )
+    for key in sorted(build_stats):
+        build_table.add_row(key, build_stats[key])
+    record.tables.extend([strategy_table, build_table])
+    path.write_text(record.to_json() + "\n", encoding="utf-8")
+    return path
+
+
 def check_agreement_and_speedup(stats: dict) -> None:
     """The acceptance assertions: >= 10x throughput, matching statistics."""
     # Statistical agreement — the engines are hop-for-hop compatible, so the
@@ -159,6 +305,26 @@ def check_agreement_and_speedup(stats: dict) -> None:
     )
 
 
+def check_strategies_and_build(strategy_stats: dict, build_stats: dict) -> None:
+    """Full-coverage acceptance: >= 10x per strategy, >= 5x direct build."""
+    for strategy, stats in strategy_stats.items():
+        assert stats["object_success_rate"] == stats["fastpath_success_rate"], (
+            f"{strategy}: success rates diverge "
+            f"({stats['object_success_rate']:.4f} vs {stats['fastpath_success_rate']:.4f})"
+        )
+        assert abs(stats["object_mean_hops"] - stats["fastpath_mean_hops"]) < 1e-9, (
+            f"{strategy}: mean hops diverge "
+            f"({stats['object_mean_hops']:.4f} vs {stats['fastpath_mean_hops']:.4f})"
+        )
+        assert stats["speedup"] >= 10.0, (
+            f"{strategy}: batched routing speedup {stats['speedup']:.1f}x < 10x"
+        )
+    assert build_stats["bit_identical"]
+    assert build_stats["build_speedup"] >= 5.0, (
+        f"direct build speedup {build_stats['build_speedup']:.1f}x < 5x"
+    )
+
+
 def _report(stats: dict) -> str:
     return (
         f"\nfastpath vs object @ n={stats['nodes']}, {stats['queries']} queries\n"
@@ -173,6 +339,23 @@ def _report(stats: dict) -> str:
         f"{stats['fastpath_success_rate']:.4f}, mean hops "
         f"{stats['object_mean_hops']:.3f} vs {stats['fastpath_mean_hops']:.3f}"
     )
+
+
+def _report_strategies(strategy_stats: dict, build_stats: dict) -> str:
+    lines = ["\nrecovery strategies @ 30% failed nodes"]
+    for strategy, stats in strategy_stats.items():
+        lines.append(
+            f"  {strategy:15s} object {stats['object_seconds']:6.2f}s | "
+            f"fastpath {stats['fastpath_seconds']:5.2f}s | "
+            f"{stats['speedup']:5.1f}x | success {stats['fastpath_success_rate']:.4f}"
+        )
+    lines.append(
+        f"direct-to-CSR build @ n={build_stats['nodes']}: "
+        f"{build_stats['direct_build_seconds']:.2f}s vs "
+        f"{build_stats['object_build_plus_compile_seconds']:.2f}s "
+        f"({build_stats['build_speedup']:.1f}x, bit-identical)"
+    )
+    return "\n".join(lines)
 
 
 def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
@@ -194,10 +377,39 @@ def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
     check_agreement_and_speedup(stats)
 
 
+def test_recovery_strategies_and_direct_build(benchmark, paper_scale):
+    """All three strategies >= 10x batched; direct build >= 5x at 2^17."""
+    build_nodes = (1 << 17) if paper_scale else (1 << 15)
+
+    def measure():
+        return (
+            run_strategy_comparison(),
+            run_build_comparison(n=build_nodes),
+        )
+
+    strategy_stats, build_stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(_report_strategies(strategy_stats, build_stats))
+    for strategy, stats in strategy_stats.items():
+        benchmark.extra_info[f"{strategy}_speedup"] = stats["speedup"]
+    benchmark.extra_info["build_speedup"] = build_stats["build_speedup"]
+    artifact = write_figure6_artifact(strategy_stats, build_stats)
+    print(f"  artifact: {artifact}")
+    check_strategies_and_build(strategy_stats, build_stats)
+
+
 if __name__ == "__main__":
     result = run_comparison()
     print(_report(result))
     artifact = write_bench_artifact(result)
     print(f"  artifact: {artifact}")
     check_agreement_and_speedup(result)
-    print("\nall assertions passed (>= 10x throughput, statistics agree)")
+    strategy_stats = run_strategy_comparison()
+    build_stats = run_build_comparison()
+    print(_report_strategies(strategy_stats, build_stats))
+    artifact = write_figure6_artifact(strategy_stats, build_stats)
+    print(f"  artifact: {artifact}")
+    check_strategies_and_build(strategy_stats, build_stats)
+    print(
+        "\nall assertions passed (>= 10x routing per strategy, >= 5x direct "
+        "build, statistics agree)"
+    )

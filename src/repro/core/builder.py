@@ -148,8 +148,24 @@ class RandomGraphBuilder:
         graph.wire_ring(present_labels)
 
         present_array = present if self.presence_probability < 1.0 else None
-        for label in present_labels:
-            self._attach_long_links(graph, label, link_rng, present_array)
+        if present_array is None and hasattr(self.distribution, "sample_neighbors_batch"):
+            # Fully populated space: draw every node's targets in one batched
+            # call.  The draw order (row-major over nodes, then link slots)
+            # matches the per-node loop below, and the same call backs the
+            # direct-to-CSR build (:func:`repro.fastpath.build_snapshot`), so
+            # both build paths realise bit-identical networks at a fixed seed.
+            targets_matrix = self.distribution.sample_neighbors_batch(
+                np.asarray(present_labels, dtype=np.int64),
+                self.links_per_node,
+                link_rng,
+            )
+            for row, label in enumerate(present_labels):
+                # Batched offsets are never zero, so targets need no
+                # self-link or absent-sink resolution.
+                self._attach_targets(graph, label, (int(t) for t in targets_matrix[row]))
+        else:
+            for label in present_labels:
+                self._attach_long_links(graph, label, link_rng, present_array)
 
         return BuildResult(
             graph=graph,
@@ -168,7 +184,7 @@ class RandomGraphBuilder:
         targets = self.distribution.sample_neighbors(
             label, self.links_per_node, rng, present=present
         )
-        seen: set[int] = set()
+        resolved: list[int] = []
         for target in targets:
             if not graph.has_node(target):
                 # Absent sink: connect to the closest occupied point instead.
@@ -178,6 +194,18 @@ class RandomGraphBuilder:
                 target = fallback
             if target == label:
                 continue
+            resolved.append(target)
+        self._attach_targets(graph, label, resolved)
+
+    def _attach_targets(self, graph: OverlayGraph, label: int, targets) -> None:
+        """Attach resolved targets in order, collapsing duplicates by policy.
+
+        The single copy of the duplicate-link rule: the direct-to-CSR build
+        (:func:`repro.fastpath.build_snapshot`) mirrors this dedup exactly,
+        which is what keeps the two build paths bit-identical.
+        """
+        seen: set[int] = set()
+        for target in targets:
             if not self.allow_duplicate_links:
                 if target in seen:
                     continue

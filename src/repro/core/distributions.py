@@ -166,6 +166,26 @@ class InversePowerLawDistribution(LinkDistribution):
             weights[source] = 0.0
         return weights
 
+    def _offset_cdf(self) -> np.ndarray:
+        """Normalised CDF over the offsets ``0 .. n-1`` seen from any source.
+
+        On a fully populated ring the link distribution is shift-invariant:
+        the probability of choosing the point at offset ``delta`` from the
+        source is ``d(0, delta)^-exponent / S`` for every source.  This single
+        CDF therefore serves batched inverse-CDF sampling for *all* sources at
+        once, which is what makes one-shot network builds array-native.
+        """
+        key = 1
+        if key not in self._weights_cache:
+            offsets = np.arange(self.n, dtype=float)
+            ring_distance = np.minimum(offsets, self.n - offsets)
+            with np.errstate(divide="ignore"):
+                weights = np.where(ring_distance > 0, ring_distance**-self.exponent, 0.0)
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._weights_cache[key] = cdf
+        return self._weights_cache[key]
+
     # -- LinkDistribution API ------------------------------------------------
 
     def sample_neighbors(
@@ -177,6 +197,12 @@ class InversePowerLawDistribution(LinkDistribution):
     ) -> list[int]:
         if count <= 0:
             return []
+        if present is None:
+            # Fully populated space: one row of the batched sampler, so that
+            # per-node and all-nodes builds draw from the same stream the same
+            # way (bit-identical graphs at a fixed seed).
+            row = self.sample_neighbors_batch(np.array([source]), count, rng)
+            return [int(c) for c in row[0]]
         weights = self._point_weights(source, present)
         total = weights.sum()
         if total <= 0:
@@ -184,6 +210,35 @@ class InversePowerLawDistribution(LinkDistribution):
         probabilities = weights / total
         chosen = rng.choice(self.n, size=count, replace=True, p=probabilities)
         return [int(c) for c in chosen]
+
+    def sample_neighbors_batch(
+        self,
+        sources: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample ``count`` long-link targets for *every* source in one draw.
+
+        Returns an ``int64[len(sources), count]`` matrix of target labels,
+        sampled with replacement per source (Theorem 13's model), using a
+        single uniform draw of shape ``(len(sources), count)`` plus one
+        ``searchsorted`` against the shared offset CDF.  Only supports the
+        fully populated space (no ``present`` mask): binomially placed nodes
+        condition each source's distribution on the presence mask, which
+        breaks the shift invariance the shared CDF relies on.
+
+        The draw order is row-major (all of source 0's links, then source 1's,
+        ...), exactly the order :class:`~repro.core.builder.RandomGraphBuilder`
+        attaches links in, so one-shot object builds and direct snapshot
+        builds consume the generator identically.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        if count <= 0:
+            return np.empty((sources.shape[0], 0), dtype=np.int64)
+        uniforms = rng.random((sources.shape[0], count))
+        offsets = np.searchsorted(self._offset_cdf(), uniforms, side="right")
+        offsets = np.clip(offsets, 1, self.n - 1)
+        return (sources[:, None] + offsets) % self.n
 
     def link_probability(self, distance: int) -> float:
         """Ideal probability that a single long link has ring distance ``distance``."""

@@ -352,22 +352,31 @@ class P2PNetwork:
         ----------
         recovery:
             Recovery strategy for the batched router; defaults to this
-            network's configured strategy.  The fastpath engine implements
-            only :attr:`~repro.core.routing.RecoveryStrategy.TERMINATE`; for
-            any other strategy this raises :class:`NotImplementedError` —
-            pass ``recovery=RecoveryStrategy.TERMINATE`` explicitly, or keep
-            using the scalar per-query path (:meth:`lookup`), which supports
-            every strategy.
+            network's configured strategy.  All three Section-6 strategies
+            (terminate, random re-route, backtracking) run batched.  A batch
+            is hop-for-hop identical to routing the same pairs sequentially
+            through one scalar :class:`~repro.core.routing.GreedyRouter`
+            seeded with this network's seed; note that is a different
+            random-re-route draw sequence than per-call :meth:`lookup`,
+            which spins up a fresh router (fresh detour stream) per query.
         """
         # Imported here: repro.fastpath depends on repro.core, so a module-level
         # import would create a cycle through the package __init__.
         from repro.fastpath import BatchGreedyRouter, compile_snapshot
 
+        resolved = self.recovery if recovery is None else recovery
+        reroute_pool = None
+        if resolved is RecoveryStrategy.RANDOM_REROUTE:
+            # Detour draws index the scalar router's live-node list, which is
+            # join order here — not necessarily sorted label order.
+            reroute_pool = self.graph.labels(only_alive=True)
         return BatchGreedyRouter(
             snapshot=compile_snapshot(self.graph),
             mode=self.routing_mode,
-            recovery=self.recovery if recovery is None else recovery,
+            recovery=resolved,
             strict_best_neighbor=self.strict_best_neighbor,
+            seed=self.seed,
+            reroute_pool=reroute_pool,
         )
 
     # ------------------------------------------------------------------ #

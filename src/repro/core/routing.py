@@ -39,14 +39,16 @@ paper analyses: both routing modes (Sections 2 and 4), all three Section-6
 recovery strategies, both neighbour-knowledge regimes, and arbitrary
 node/link failures.  :mod:`repro.fastpath` provides a batched array engine
 for the statistically heavy experiments; within its envelope — two-sided or
-one-sided routing, node failures, **terminate** recovery only — it is
-hop-for-hop identical to :class:`GreedyRouter` (same candidate order, same
-tie-breaks, same hop limit), which
-``tests/property/test_property_fastpath.py`` asserts path-for-path.  The
-random re-route and backtracking strategies carry per-query mutable state
-and remain exclusive to this scalar router; the experiment harness
+one-sided routing, node failures, and **all three** recovery strategies — it
+is hop-for-hop identical to :class:`GreedyRouter` (same candidate order,
+same tie-breaks, same hop limit, same re-route draws and backtrack victim
+selection), which ``tests/property/test_property_fastpath.py`` asserts
+path-for-path.  Re-route parity additionally assumes the scalar default
+detour budget (``max_reroutes=1``) — one shared RNG stream, drawn in query
+order — and the batch router rejects larger budgets.  The experiment harness
 (:func:`repro.experiments.runner.route_pairs_with_engine`) falls back here
-automatically whenever a configuration is outside the fastpath envelope.
+automatically whenever a configuration is outside the fastpath envelope
+(e.g. a graph in a metric space the snapshot compiler cannot handle).
 """
 
 from __future__ import annotations

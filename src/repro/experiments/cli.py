@@ -151,8 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("object", "fastpath"),
             default="object",
             help="routing engine: scalar object router or batched fastpath "
-            "(fastpath applies to terminate-recovery measurements; other "
-            "strategies fall back to the object engine)",
+            "(covers all three recovery strategies with identical results; "
+            "ideal networks additionally build straight into CSR snapshots)",
         )
 
     figure6 = subparsers.add_parser("figure6", help="failed searches / delivery time vs node failures")
@@ -197,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fraction of nodes to fail before routing",
+    )
+    bench.add_argument(
+        "--recovery",
+        choices=[strategy.value for strategy in RecoveryStrategy],
+        default=RecoveryStrategy.TERMINATE.value,
+        help="recovery strategy to benchmark (all three run on either engine)",
     )
     add_engine_option(bench)
     add_format_option(bench)
@@ -355,35 +361,52 @@ def _run_route_bench(args) -> None:
     from repro.core.failures import NodeFailureModel
     from repro.core.routing import GreedyRouter
     from repro.experiments.runner import route_sample
-    from repro.fastpath import BatchGreedyRouter, compile_snapshot
+    from repro.fastpath import BatchGreedyRouter
     from repro.simulation.workload import LookupWorkload
 
     mode = RoutingMode(args.mode)
-    build = build_ideal_network(args.nodes, links_per_node=args.links, seed=args.seed)
-    graph = build.graph
-    if args.fail > 0.0:
-        NodeFailureModel(args.fail, seed=args.seed + 1).apply(graph)
-    live = graph.labels(only_alive=True)
-    if len(live) < 2:
-        raise SystemExit(
-            f"route-bench: --fail {args.fail} leaves {len(live)} live node(s); "
-            "need at least two to generate queries — lower --fail or raise --nodes"
-        )
-    pairs = LookupWorkload(seed=args.seed + 2).pairs(live, args.queries)
-
+    recovery = RecoveryStrategy(args.recovery)
     if args.engine == "fastpath":
+        # Direct-to-CSR build: no object graph at all on the fastpath side.
+        from repro.fastpath import build_snapshot, sample_node_failures
+
         started = time.perf_counter()
-        router = BatchGreedyRouter(snapshot=compile_snapshot(graph), mode=mode)
-        compiled = time.perf_counter()
+        snapshot = build_snapshot(args.nodes, links_per_node=args.links, seed=args.seed)
+        if args.fail > 0.0:
+            failed = sample_node_failures(snapshot, args.fail, seed=args.seed + 1)
+            snapshot = snapshot.with_alive(snapshot.alive & ~failed)
+        built = time.perf_counter()
+        live = snapshot.labels[snapshot.alive].tolist()
+        if len(live) < 2:
+            raise SystemExit(
+                f"route-bench: --fail {args.fail} leaves {len(live)} live node(s); "
+                "need at least two to generate queries — lower --fail or raise --nodes"
+            )
+        pairs = LookupWorkload(seed=args.seed + 2).pairs(live, args.queries)
+        router = BatchGreedyRouter(
+            snapshot=snapshot, mode=mode, recovery=recovery, seed=args.seed
+        )
+        started_route = time.perf_counter()
         result = router.route_pairs(pairs)
         finished = time.perf_counter()
-        setup_seconds = compiled - started
-        route_seconds = finished - compiled
+        setup_seconds = built - started
+        route_seconds = finished - started_route
         successes = int(result.success.sum())
         hops = result.mean_hops()
     else:
+        build = build_ideal_network(args.nodes, links_per_node=args.links, seed=args.seed)
+        graph = build.graph
+        if args.fail > 0.0:
+            NodeFailureModel(args.fail, seed=args.seed + 1).apply(graph)
+        live = graph.labels(only_alive=True)
+        if len(live) < 2:
+            raise SystemExit(
+                f"route-bench: --fail {args.fail} leaves {len(live)} live node(s); "
+                "need at least two to generate queries — lower --fail or raise --nodes"
+            )
+        pairs = LookupWorkload(seed=args.seed + 2).pairs(live, args.queries)
         router = GreedyRouter(
-            graph=graph, mode=mode, recovery=RecoveryStrategy.TERMINATE, seed=args.seed
+            graph=graph, mode=mode, recovery=recovery, seed=args.seed
         )
         started = time.perf_counter()
         failures, hop_counts = route_sample(graph, router, pairs)
@@ -394,12 +417,12 @@ def _run_route_bench(args) -> None:
         hops = float(np.mean(hop_counts)) if hop_counts else 0.0
 
     table = ExperimentTable(
-        title=f"route-bench: {args.engine} engine, terminate recovery, {mode.value} mode",
+        title=f"route-bench: {args.engine} engine, {recovery.value} recovery, {mode.value} mode",
         columns=[
             "nodes", "queries", "failed_nodes", "setup_s", "route_s",
             "queries_per_sec", "success_rate", "mean_hops",
         ],
-        notes="setup_s is snapshot compilation (fastpath only); "
+        notes="setup_s is the direct-to-CSR snapshot build (fastpath only); "
         "queries_per_sec counts routing time alone.",
     )
     table.add_row(

@@ -17,7 +17,12 @@ Expected qualitative shape (what ``run_figure6`` should show):
 * delivery time grows only moderately with ``p`` for all strategies.
 
 Defaults are scaled down (2^12 nodes, 200 searches per point); pass
-``nodes=1 << 17, searches_per_point=100_000`` for a paper-scale run.
+``nodes=1 << 17, searches_per_point=100_000`` for a paper-scale run.  With
+``engine="fastpath"`` the whole experiment is array-native: the network is
+built straight into a CSR snapshot (:func:`repro.fastpath.build_snapshot`),
+failures are bulk mask operations, and **all three** strategies route on the
+batched engine — no object graph is ever materialised, and the numbers are
+identical to ``engine="object"`` at the same seed.
 """
 
 from __future__ import annotations
@@ -30,7 +35,9 @@ from repro.core.builder import build_ideal_network
 from repro.core.failures import NodeFailureModel, failure_sweep_levels
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
+from repro.fastpath import build_snapshot, sample_node_failures
 from repro.simulation.workload import LookupWorkload
+from repro.util.rng import derive_seed
 
 __all__ = ["Figure6Result", "run_figure6", "DEFAULT_STRATEGIES"]
 
@@ -89,10 +96,10 @@ def run_figure6(
         identical numbers at a fixed seed.  New code should use the scenario
         API directly — it adds JSON results, sweeps, and the CLI surface.
 
-    With ``engine="fastpath"`` the terminate strategy runs on the batched
-    array engine (identical statistics, far faster at scale); the stateful
-    re-route and backtracking strategies automatically stay on the object
-    engine, so mixed sweeps remain a single call.
+    With ``engine="fastpath"`` every strategy — terminate, random re-route,
+    and backtracking — runs on the batched array engine over a direct-built
+    snapshot, with statistics identical to the object engine at the same
+    seed and far higher throughput at scale.
     """
     from repro.scenarios import run
     from repro.scenarios.library import figure6_spec
@@ -124,6 +131,17 @@ def _run_figure6_impl(
     simulation, the network is set up afresh"), the failure model removes the
     requested fraction of nodes, and every strategy routes the same
     source/destination pairs so the comparison is paired.
+
+    Per-level seeds are derived with :func:`repro.util.rng.derive_seed` (the
+    same helper the sweep executor uses), namespaced by purpose — build,
+    failures, workload, routing — so adding a consumer never perturbs the
+    others.
+
+    ``engine="fastpath"`` takes the array-native path end to end: the network
+    is sampled straight into a CSR snapshot, node failures are drawn as a bulk
+    mask (same victims as :class:`~repro.core.failures.NodeFailureModel` at
+    the same seed), and all strategies route batched.  The object layer is
+    never touched, yet every number matches ``engine="object"`` exactly.
     """
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
@@ -142,26 +160,37 @@ def _run_figure6_impl(
             "engine": engine,
         },
     )
-    engines_used: dict[str, str] = {}
+    # Per-strategy, per-level record of the engine that actually routed.
+    engines_used: dict[str, list[str]] = {s.value: [] for s in strategies}
 
     for level_index, level in enumerate(failure_levels):
-        build = build_ideal_network(
-            nodes, links_per_node=links_per_node, seed=seed + level_index
-        )
-        graph = build.graph
-        failure_model = NodeFailureModel(level, seed=seed + 1000 + level_index)
-        failure_model.apply(graph)
-        live = graph.labels(only_alive=True)
-        workload = LookupWorkload(seed=seed + 2000 + level_index)
-        pairs = workload.pairs(live, searches_per_point)
+        build_seed = derive_seed(seed, "figure6", "build", level_index)
+        failure_seed = derive_seed(seed, "figure6", "failures", level_index)
+        workload_seed = derive_seed(seed, "figure6", "workload", level_index)
+        route_seed = derive_seed(seed, "figure6", "route", level_index)
 
+        graph = None
         snapshot = None
         if engine == "fastpath":
-            # One compilation serves every fastpath-supported strategy at
-            # this failure level; the object-engine strategies ignore it.
-            from repro.fastpath import compile_snapshot
+            # Array-native topology: one batched build serves every strategy
+            # at this failure level, and failures are a derived alive mask.
+            # Both draws match the object path exactly (same streams, same
+            # candidate order), so the two engines stay paired.
+            base = build_snapshot(nodes, links_per_node=links_per_node, seed=build_seed)
+            failed = sample_node_failures(base, level, seed=failure_seed)
+            snapshot = base.with_alive(base.alive & ~failed)
+            live = snapshot.labels[snapshot.alive].tolist()
+        else:
+            build = build_ideal_network(
+                nodes, links_per_node=links_per_node, seed=build_seed
+            )
+            graph = build.graph
+            failure_model = NodeFailureModel(level, seed=failure_seed)
+            failure_model.apply(graph)
+            live = graph.labels(only_alive=True)
 
-            snapshot = compile_snapshot(graph)
+        workload = LookupWorkload(seed=workload_seed)
+        pairs = workload.pairs(live, searches_per_point)
 
         for strategy in strategies:
             outcome = route_pairs_with_engine(
@@ -169,15 +198,22 @@ def _run_figure6_impl(
                 pairs,
                 engine=engine,
                 recovery=strategy,
-                seed=seed + 3000 + level_index,
+                seed=route_seed,
                 snapshot=snapshot,
             )
-            engines_used[strategy.value] = outcome.engine_used
+            engines_used[strategy.value].append(outcome.engine_used)
             result.failed_fraction[strategy.value].append(outcome.failures / len(pairs))
             result.mean_hops[strategy.value].append(
                 float(np.mean(outcome.hops)) if outcome.hops else 0.0
             )
-        failure_model.repair(graph)
 
-    result.parameters["engine_used"] = engines_used
+    # ``engine_used`` keeps the strategy -> engine summary shape; a strategy
+    # routed by different engines at different levels shows up as e.g.
+    # "fastpath+object".  The raw per-level record rides along for sweeps
+    # that need to audit exactly which cells downgraded.
+    result.parameters["engines_used_per_level"] = engines_used
+    result.parameters["engine_used"] = {
+        strategy: "+".join(sorted(set(levels_used))) if levels_used else engine
+        for strategy, levels_used in engines_used.items()
+    }
     return result

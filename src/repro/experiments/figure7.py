@@ -22,7 +22,9 @@ from repro.core.construction import build_heuristic_network
 from repro.core.failures import NodeFailureModel, failure_sweep_levels
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
+from repro.fastpath import build_snapshot
 from repro.simulation.workload import LookupWorkload
+from repro.util.rng import derive_seed
 
 __all__ = ["Figure7Result", "run_figure7"]
 
@@ -51,14 +53,6 @@ class Figure7Result:
         return table
 
 
-def _failed_fraction(graph, pairs, recovery, seed, engine) -> float:
-    """Fraction of the given searches that fail on ``graph``."""
-    outcome = route_pairs_with_engine(
-        graph, pairs, engine=engine, recovery=recovery, seed=seed
-    )
-    return outcome.failures / len(pairs)
-
-
 def run_figure7(
     nodes: int = 1 << 11,
     links_per_node: int | None = None,
@@ -78,10 +72,10 @@ def run_figure7(
         identical numbers at a fixed seed.  New code should use the scenario
         API directly — it adds JSON results, sweeps, and the CLI surface.
 
-    The default terminate recovery is exactly the configuration the fastpath
-    engine accelerates, so ``engine="fastpath"`` speeds up the whole sweep
-    with identical statistics (other recovery strategies fall back to the
-    object engine per the :mod:`repro.fastpath` contract).
+    ``engine="fastpath"`` accelerates the whole sweep with identical
+    statistics for every recovery strategy: ideal networks are built straight
+    into CSR snapshots, constructed networks are compiled once per iteration,
+    and all routing runs batched.
     """
     from repro.scenarios import run
     from repro.scenarios.library import figure7_spec
@@ -115,6 +109,14 @@ def _run_figure7_impl(
     constructed network of the same size are built, the same fraction of nodes
     fails in each, and the same number of random searches is routed; the
     failed-search fractions are averaged over iterations.
+
+    Seeds are derived with :func:`repro.util.rng.derive_seed`, namespaced by
+    purpose and sweep position.  With ``engine="fastpath"`` the ideal
+    networks are built straight into CSR snapshots
+    (:func:`repro.fastpath.build_snapshot`) and every level routes on a
+    derived alive mask; the constructed networks — inherently built node by
+    node through the Section-5 heuristic — are compiled **once** per
+    iteration and reuse their snapshot across all failure levels.
     """
     if links_per_node is None:
         links_per_node = max(1, int(np.ceil(np.log2(nodes))))
@@ -133,44 +135,85 @@ def _run_figure7_impl(
             "engine": engine,
         },
     )
-    from repro.fastpath import select_engine
+    from repro.fastpath import compile_snapshot, sample_node_failures, select_engine
 
-    result.parameters["engine_used"] = select_engine(engine, recovery)
+    resolved = select_engine(engine, recovery)
+    result.parameters["engine_used"] = resolved
+    fastpath = resolved == "fastpath"
 
     # Build the networks once per iteration and reuse them across failure
     # levels (failures are repaired after each level), which matches the
-    # paper's "10 iterations of constructing a network" methodology.
-    ideal_graphs = []
-    constructed_graphs = []
+    # paper's "10 iterations of constructing a network" methodology.  Each
+    # entry is (graph, base snapshot): ideal fastpath networks skip the
+    # object layer entirely (graph is None); constructed networks always
+    # carry a graph and, under fastpath, a one-time compiled snapshot.
+    ideal_networks: list[tuple] = []
+    constructed_networks: list[tuple] = []
     for iteration in range(iterations):
-        ideal_graphs.append(
-            build_ideal_network(nodes, links_per_node=links_per_node, seed=seed + iteration).graph
-        )
-        constructed_graphs.append(
-            build_heuristic_network(
-                n=nodes, links_per_node=links_per_node, seed=seed + 100 + iteration
-            ).graph
+        ideal_seed = derive_seed(seed, "figure7", "ideal", iteration)
+        constructed_seed = derive_seed(seed, "figure7", "constructed", iteration)
+        if fastpath:
+            ideal_networks.append(
+                (None, build_snapshot(nodes, links_per_node=links_per_node, seed=ideal_seed))
+            )
+        else:
+            ideal_networks.append(
+                (
+                    build_ideal_network(
+                        nodes, links_per_node=links_per_node, seed=ideal_seed
+                    ).graph,
+                    None,
+                )
+            )
+        constructed = build_heuristic_network(
+            n=nodes, links_per_node=links_per_node, seed=constructed_seed
+        ).graph
+        constructed_networks.append(
+            (constructed, compile_snapshot(constructed) if fastpath else None)
         )
 
     for level_index, level in enumerate(failure_levels):
         ideal_fractions = []
         constructed_fractions = []
+        workload_seed = derive_seed(seed, "figure7", "workload", level_index)
+        route_seed = derive_seed(seed, "figure7", "route", level_index)
         for iteration in range(iterations):
-            for graph, bucket in (
-                (ideal_graphs[iteration], ideal_fractions),
-                (constructed_graphs[iteration], constructed_fractions),
+            failure_seed = derive_seed(seed, "figure7", "failures", iteration, level_index)
+            for (graph, base), bucket in (
+                (ideal_networks[iteration], ideal_fractions),
+                (constructed_networks[iteration], constructed_fractions),
             ):
-                failure_model = NodeFailureModel(
-                    level, seed=seed + 1000 * (iteration + 1) + level_index
-                )
-                failure_model.apply(graph)
-                live = graph.labels(only_alive=True)
-                workload = LookupWorkload(seed=seed + 500 + level_index)
+                snapshot = None
+                if graph is None:
+                    # Direct-built ideal network: failures are a derived mask
+                    # (same victims as NodeFailureModel at the same seed).
+                    failed = sample_node_failures(base, level, seed=failure_seed)
+                    snapshot = base.with_alive(base.alive & ~failed)
+                    live = snapshot.labels[snapshot.alive].tolist()
+                else:
+                    failure_model = NodeFailureModel(level, seed=failure_seed)
+                    failure_model.apply(graph)
+                    live = graph.labels(only_alive=True)
+                    if base is not None:
+                        # Reuse the one-time compiled topology; only the
+                        # liveness mask changes per level.
+                        alive = base.alive.copy()
+                        if failure_model.failed_labels:
+                            alive[base.indices_of(failure_model.failed_labels)] = False
+                        snapshot = base.with_alive(alive)
+                workload = LookupWorkload(seed=workload_seed)
                 pairs = workload.pairs(live, searches_per_point)
-                bucket.append(
-                    _failed_fraction(graph, pairs, recovery, seed + level_index, engine)
+                outcome = route_pairs_with_engine(
+                    graph,
+                    pairs,
+                    engine=engine,
+                    recovery=recovery,
+                    seed=route_seed,
+                    snapshot=snapshot,
                 )
-                failure_model.repair(graph)
+                bucket.append(outcome.failures / len(pairs))
+                if graph is not None:
+                    failure_model.repair(graph)
         result.ideal_failed_fraction.append(float(np.mean(ideal_fractions)))
         result.constructed_failed_fraction.append(float(np.mean(constructed_fractions)))
 

@@ -9,11 +9,12 @@ The harness also owns the **engine switch**: every routing experiment accepts
 ``engine="object"`` (the scalar :class:`~repro.core.routing.GreedyRouter`,
 one Python hop at a time) or ``engine="fastpath"`` (the batched NumPy engine
 of :mod:`repro.fastpath`).  :func:`route_pairs_with_engine` is the single
-place that arbitrates between them: for the configurations fastpath supports
-(terminate recovery, either routing mode) the two engines produce identical
-statistics.  For unsupported recovery strategies the call falls back to the
-object engine so mixed-strategy sweeps keep working, but the downgrade is no
-longer silent — the returned :class:`EngineRouteResult` records the engine
+place that arbitrates between them: fastpath covers both routing modes and
+all three Section-6 recovery strategies, hop-for-hop identical to the object
+engine at the same seed.  The rare configurations still outside the fastpath
+envelope (a graph in a metric space the snapshot compiler cannot handle)
+fall back to the object engine so sweeps keep working, but the downgrade is
+not silent — the returned :class:`EngineRouteResult` records the engine
 actually used and a :class:`FastpathFallbackWarning` is emitted.
 """
 
@@ -43,12 +44,16 @@ __all__ = [
 class FastpathFallbackWarning(RuntimeWarning):
     """Emitted when a requested ``engine="fastpath"`` run is downgraded.
 
-    The fastpath engine only implements the terminate recovery strategy;
-    requesting it together with random re-route or backtracking silently used
-    to route through the object engine.  The fallback still happens (sweeps
-    that mix strategies must not fail half-way), but it is now observable:
-    this warning fires and :class:`EngineRouteResult.engine_used` reports
-    ``"object"``.
+    The fastpath engine implements all three recovery strategies, so the
+    remaining downgrade triggers are structural: a graph whose metric space
+    the snapshot compiler does not support, or a recovery configuration the
+    batch router rejects (e.g. a multi-detour re-route budget).  The fallback
+    still happens (sweeps must not fail half-way), but it is observable: this
+    warning fires and :class:`EngineRouteResult.engine_used` reports
+    ``"object"``.  Experiments that pre-resolve their engine (e.g.
+    :func:`repro.experiments.figure6.run_figure6`) do so once up front, so
+    the warning is emitted at most once per experiment rather than once per
+    sweep cell.
     """
 
 
@@ -231,51 +236,78 @@ def route_pairs_with_engine(
 
     Returns an :class:`EngineRouteResult` ``(failures, hops_of_successes,
     engine_used)`` regardless of engine, so experiment code is
-    engine-agnostic.
+    engine-agnostic.  The two engines are hop-for-hop identical at the same
+    seed for every configuration they both support, including all three
+    recovery strategies.
 
     Parameters
     ----------
     graph:
-        The overlay graph (with any failures already applied).
+        The overlay graph (with any failures already applied).  May be
+        ``None`` for a pure-fastpath run when ``snapshot`` is given — e.g. a
+        direct-built network (:func:`repro.fastpath.build_snapshot`) that
+        never had an object graph.
     pairs:
         Sequence of (source, target) label pairs.
     engine:
-        ``"object"`` or ``"fastpath"``.  A fastpath request with an
-        unsupported recovery strategy falls back to the object engine (see
-        :func:`repro.fastpath.select_engine`); the downgrade emits a
-        :class:`FastpathFallbackWarning` and is recorded in the returned
-        ``engine_used`` field.
+        ``"object"`` or ``"fastpath"``.  A fastpath request whose graph
+        cannot be compiled into a snapshot falls back to the object engine;
+        the downgrade emits a :class:`FastpathFallbackWarning` and is
+        recorded in the returned ``engine_used`` field.
+    seed:
+        Routing seed (the random re-route stream); both engines derive the
+        same stream from it.
     snapshot:
         Optional precompiled :class:`~repro.fastpath.FastpathSnapshot` of
-        ``graph`` — pass it when several strategies share one topology so the
-        graph is compiled once, not per strategy.  Ignored by the object
+        the topology — pass it when several strategies share one topology so
+        the graph is compiled once, not per strategy.  Ignored by the object
         engine.  The caller is responsible for the snapshot actually matching
         ``graph``'s current liveness.
     """
     from repro.fastpath import BatchGreedyRouter, compile_snapshot, select_engine
 
     resolved = select_engine(engine, recovery)
-    if engine == "fastpath" and resolved != "fastpath":
-        warnings.warn(
-            f"engine='fastpath' does not implement recovery strategy "
-            f"{recovery.value!r}; routing through the object engine instead",
-            FastpathFallbackWarning,
-            stacklevel=2,
+    if graph is None and snapshot is None:
+        raise ValueError(
+            "route_pairs_with_engine needs a graph or (for fastpath runs) a "
+            "precompiled snapshot; got neither"
         )
-    if resolved == "fastpath":
-        if snapshot is None:
+    if resolved == "fastpath" and snapshot is None:
+        try:
             snapshot = compile_snapshot(graph)
+        except NotImplementedError as error:
+            warnings.warn(
+                f"engine='fastpath' cannot compile this graph ({error}); "
+                "routing through the object engine instead",
+                FastpathFallbackWarning,
+                stacklevel=2,
+            )
+            resolved = "object"
+    if resolved == "fastpath":
+        reroute_pool = None
+        if recovery is RecoveryStrategy.RANDOM_REROUTE and graph is not None:
+            # Detour draws index the scalar router's live-node list; hand the
+            # batch router the graph's own ordering so parity holds even for
+            # graphs whose nodes were not inserted in sorted label order.
+            reroute_pool = graph.labels(only_alive=True)
         router = BatchGreedyRouter(
             snapshot=snapshot,
             mode=mode,
             recovery=recovery,
             strict_best_neighbor=strict_best_neighbor,
+            seed=seed,
+            reroute_pool=reroute_pool,
         )
         result = router.route_pairs(pairs)
         return EngineRouteResult(
             result.failed_count(), result.hops[result.success].tolist(), resolved
         )
 
+    if graph is None:
+        raise ValueError(
+            "the object engine needs an overlay graph; only snapshot-backed "
+            "fastpath runs may pass graph=None"
+        )
     router = GreedyRouter(
         graph=graph,
         mode=mode,

@@ -31,7 +31,7 @@ from repro.core.failures import LinkFailureModel, NodeFailureModel
 from repro.core.metric import RingMetric
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
-from repro.fastpath import select_engine
+from repro.fastpath import build_snapshot, sample_node_failures, select_engine
 from repro.simulation.workload import LookupWorkload
 
 __all__ = ["Table1Result", "run_table1", "measure_mean_hops"]
@@ -43,20 +43,39 @@ def measure_mean_hops(
     seed: int,
     recovery: RecoveryStrategy = RecoveryStrategy.BACKTRACK,
     engine: str = "object",
+    snapshot=None,
 ) -> tuple[float, float]:
-    """Return (mean hops of successful searches, failed fraction) on ``graph``.
+    """Return (mean hops of successful searches, failed fraction).
 
-    ``engine="fastpath"`` takes effect when ``recovery`` is terminate (the
-    fastpath-supported strategy); otherwise the object engine is used.
+    ``engine="fastpath"`` routes every recovery strategy — including the
+    default backtracking — on the batched engine, with results identical to
+    the object engine at the same seed.  Pass a precompiled (or direct-built)
+    ``snapshot`` to skip per-call compilation; ``graph`` may then be ``None``
+    for topologies that never existed as object graphs.
     """
-    live = graph.labels(only_alive=True)
+    if graph is not None:
+        live = graph.labels(only_alive=True)
+    else:
+        live = snapshot.labels[snapshot.alive].tolist()
     workload = LookupWorkload(seed=seed)
     pairs = workload.pairs(live, searches)
     outcome = route_pairs_with_engine(
-        graph, pairs, engine=engine, recovery=recovery, seed=seed
+        graph, pairs, engine=engine, recovery=recovery, seed=seed, snapshot=snapshot
     )
     mean_hops = float(np.mean(outcome.hops)) if outcome.hops else 0.0
     return mean_hops, outcome.failures / len(pairs)
+
+
+def _ideal_topology(n: int, links: int, seed: int, engine: str):
+    """Build the standard ring network for one measurement point.
+
+    Returns ``(graph, snapshot)``: the fastpath engine builds straight into a
+    CSR snapshot (no object graph at all); the object engine builds the
+    overlay graph.  Both realise the identical network at the same seed.
+    """
+    if engine == "fastpath":
+        return None, build_snapshot(n, links_per_node=links, seed=seed)
+    return build_ideal_network(n, links_per_node=links, seed=seed).graph, None
 
 
 @dataclass
@@ -126,10 +145,11 @@ def run_table1(
         Recovery strategy used by every measurement (the paper's default is
         backtracking, the best-performing strategy).
     engine:
-        ``"object"`` or ``"fastpath"``.  Fastpath accelerates the sweep only
-        when ``recovery`` is terminate; with the default backtracking
-        strategy it falls back to the object engine (with a
-        :class:`~repro.experiments.runner.FastpathFallbackWarning`).
+        ``"object"`` or ``"fastpath"``.  Fastpath accelerates every
+        measurement — including the default backtracking strategy — and the
+        ideal-network rows additionally skip the object graph entirely via
+        the direct-to-CSR build, with results identical to the object engine
+        at the same seed.
     """
     from repro.scenarios import run
     from repro.scenarios.library import table1_spec
@@ -173,8 +193,8 @@ def _run_table1_impl(
         columns=["n", "measured_hops", "bound_shape_log2n_sq"],
     )
     for index, n in enumerate(sizes):
-        build = build_ideal_network(n, links_per_node=1, seed=seed + index)
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 10 + index, recovery=recovery, engine=engine)
+        graph, snapshot = _ideal_topology(n, 1, seed + index, engine)
+        hops, _ = measure_mean_hops(graph, searches, seed + 10 + index, recovery=recovery, engine=engine, snapshot=snapshot)
         single.add_row(n, hops, bounds.upper_bound_single_link(n))
 
     # Row 2: l links in [1, lg n] — hops should fall roughly like 1/l.
@@ -184,8 +204,8 @@ def _run_table1_impl(
         columns=["links", "measured_hops", "bound_shape"],
     )
     for index, links in enumerate(link_counts):
-        build = build_ideal_network(polylog_n, links_per_node=links, seed=seed + 20 + index)
-        hops, _ = measure_mean_hops(build.graph, searches, seed + 30 + index, recovery=recovery, engine=engine)
+        graph, snapshot = _ideal_topology(polylog_n, links, seed + 20 + index, engine)
+        hops, _ = measure_mean_hops(graph, searches, seed + 30 + index, recovery=recovery, engine=engine, snapshot=snapshot)
         polylog.add_row(links, hops, bounds.upper_bound_multiple_links(polylog_n, links))
 
     # Row 3: deterministic base-b scheme — hops should be ~ log_b n.
@@ -254,17 +274,26 @@ def _run_table1_impl(
         ),
         columns=["p_node_failed", "measured_hops", "failed_fraction", "bound_shape"],
     )
-    node_build = build_ideal_network(failure_n, links_per_node=failure_links, seed=seed + 120)
+    node_graph, node_base = _ideal_topology(failure_n, failure_links, seed + 120, engine)
     for index, p_alive in enumerate(probabilities):
         p_failed = round(1.0 - p_alive, 10)
-        model = NodeFailureModel(p_failed, seed=seed + 130 + index)
-        model.apply(node_build.graph)
-        hops, failed = measure_mean_hops(node_build.graph, searches, seed + 140 + index, recovery=recovery, engine=engine)
+        if node_graph is None:
+            # Direct-built topology: failures are a derived alive mask with
+            # the same victims NodeFailureModel would pick at this seed.
+            failed_mask = sample_node_failures(node_base, p_failed, seed=seed + 130 + index)
+            snapshot = node_base.with_alive(node_base.alive & ~failed_mask)
+            hops, failed = measure_mean_hops(
+                None, searches, seed + 140 + index, recovery=recovery, engine=engine, snapshot=snapshot
+            )
+        else:
+            model = NodeFailureModel(p_failed, seed=seed + 130 + index)
+            model.apply(node_graph)
+            hops, failed = measure_mean_hops(node_graph, searches, seed + 140 + index, recovery=recovery, engine=engine)
+            model.repair(node_graph)
         node_failures.add_row(
             p_failed, hops, failed,
             bounds.upper_bound_node_failures(failure_n, failure_links, p_failed),
         )
-        model.repair(node_build.graph)
 
     # Section 4.3.4.1: binomially distributed nodes — delivery time unchanged.
     binomial = ExperimentTable(

@@ -16,13 +16,21 @@ Coverage and the equivalence contract
 -------------------------------------
 The fastpath engine covers greedy routing as analysed in Sections 2 and 4 and
 evaluated under node failures in Section 6 of the paper, for both the
-two-sided and one-sided routing modes, restricted to the **terminate**
-recovery strategy.  Within that envelope it is hop-for-hop identical to the
-scalar :class:`~repro.core.routing.GreedyRouter` (same paths, same hop
-counts, same failure verdicts) — asserted by
-``tests/property/test_property_fastpath.py``.  The random-reroute and
-backtracking strategies, Byzantine behaviour, and the maintenance/DHT layers
-remain object-engine only; :func:`select_engine` arbitrates the fallback.
+two-sided and one-sided routing modes and **all three** Section-6 recovery
+strategies (terminate, random re-route, backtracking).  Within that envelope
+it is hop-for-hop identical to the scalar
+:class:`~repro.core.routing.GreedyRouter` (same paths, same hop counts, same
+failure verdicts, same detour draws and backtrack moves) — asserted by
+``tests/property/test_property_fastpath.py``.  Byzantine behaviour and the
+maintenance/DHT layers remain object-engine only, as do graphs embedded in
+spaces the snapshot compiler does not support; :func:`select_engine` and the
+experiment harness arbitrate the fallback.
+
+The standard experimental network can additionally be built straight into a
+snapshot — :func:`build_snapshot` samples every node's long links in one
+batched draw and assembles the CSR arrays without materialising any
+``OverlayGraph``/``OverlayNode`` objects, bit-identical to the object build
+at a fixed seed.
 
 Quickstart
 ----------
@@ -43,12 +51,14 @@ from repro.fastpath.batch_router import (
     BatchGreedyRouter,
     BatchRouteResult,
 )
+from repro.fastpath.builder import build_snapshot
 from repro.fastpath.failures import apply_node_failures, sample_node_failures
 from repro.fastpath.snapshot import FastpathSnapshot, compile_snapshot
 
 __all__ = [
     "FastpathSnapshot",
     "compile_snapshot",
+    "build_snapshot",
     "BatchGreedyRouter",
     "BatchRouteResult",
     "FAILURE_CODES",
@@ -63,8 +73,15 @@ __all__ = [
 #: Engine names accepted by the experiment harness.
 ENGINES = ("object", "fastpath")
 
-#: Recovery strategies the batched engine implements.
-FASTPATH_RECOVERIES = frozenset({RecoveryStrategy.TERMINATE})
+#: Recovery strategies the batched engine implements — since the vectorized
+#: recovery work, all three Section-6 strategies.
+FASTPATH_RECOVERIES = frozenset(
+    {
+        RecoveryStrategy.TERMINATE,
+        RecoveryStrategy.RANDOM_REROUTE,
+        RecoveryStrategy.BACKTRACK,
+    }
+)
 
 
 def supports_recovery(recovery: RecoveryStrategy) -> bool:
@@ -75,10 +92,13 @@ def supports_recovery(recovery: RecoveryStrategy) -> bool:
 def select_engine(engine: str, recovery: RecoveryStrategy) -> str:
     """Validate an engine request and resolve the fastpath fallback rule.
 
-    Returns ``"fastpath"`` only when it was requested *and* the recovery
-    strategy is fastpath-supported; unsupported strategies silently fall back
-    to ``"object"`` (the documented contract — experiments mix strategies and
-    must not fail half-way through a sweep).
+    Returns ``"fastpath"`` when it was requested and the recovery strategy is
+    fastpath-supported (today: every strategy); a request outside the
+    envelope falls back to ``"object"`` rather than failing, so sweeps that
+    mix configurations keep working.  Fallbacks for reasons this predicate
+    cannot see (e.g. a graph embedded in an unsupported metric space) are
+    handled — and warned about — by
+    :func:`repro.experiments.runner.route_pairs_with_engine`.
 
     Raises
     ------

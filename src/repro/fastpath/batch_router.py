@@ -7,27 +7,41 @@ still-active queries, computes every candidate's metric distance to its
 query's target in one NumPy expression, masks out unusable candidates, and
 picks each query's next hop with a single ``argmin``.
 
+All three Section-6 recovery strategies are implemented:
+
+* **terminate** — a stuck query simply fails; pure lock-step.
+* **random re-route** — per-query detour targets (a Valiant-style detour to a
+  uniformly random live node).  Stuck queries are frozen until every query
+  either finishes or needs a detour, then detours are drawn *in query order*
+  from the same derived stream the scalar router uses, so the draw sequence is
+  identical to routing the batch one query at a time.
+* **backtracking** — a ``(queries, backtrack_depth)`` history ring buffer plus
+  a per-query map from visited node to the number of already-tried candidates.
+  The scalar router's tried-set is always a *prefix* of the distance-sorted
+  candidate list, so one integer per (query, node) reproduces it exactly.
+
 Equivalence contract (see also :mod:`repro.core.routing`)
 ---------------------------------------------------------
 For the configurations it supports, the batch engine is **hop-for-hop
 identical** to the scalar router — not merely statistically similar.  The
-guarantee rests on two details:
+guarantee rests on three details:
 
 * the snapshot's per-vertex neighbour order equals the scalar router's
-  candidate order, and ``argmin`` returns the *first* minimum, matching the
-  scalar router's stable sort-by-distance tie-break;
-* all queries use the terminate recovery strategy, under which a route's hop
-  count equals the number of global steps it has been active, so a single
-  step counter implements the scalar per-route hop limit exactly.
+  candidate order, and ``argmin`` / stable ``argsort`` reproduce the scalar
+  router's stable sort-by-distance tie-break;
+* each query's hop budget is tracked individually, reproducing the scalar
+  per-route hop limit exactly even when recovery detours desynchronise the
+  queries;
+* random re-route draws come from ``spawn_rng(seed, "random-reroute")`` in
+  ascending query order — the order a scalar router consuming one shared
+  stream would draw in (exact for ``max_reroutes=1``, the scalar default;
+  larger budgets interleave draws across queries and stay scalar-only).
 
 Supported: both routing modes (``TWO_SIDED`` and ``ONE_SIDED``, Sections 2
 and 4 of the paper), both neighbour-knowledge regimes
 (``strict_best_neighbor`` True/False), node failures (Sections 4.3.4.2 and
-6), and the ``terminate`` recovery strategy.  The ``random-reroute`` and
-``backtrack`` strategies of Section 6 carry per-query mutable state (detour
-targets, bounded visit histories) that defeats lock-step vectorization; the
-constructor raises :class:`NotImplementedError` for them and callers should
-fall back to the scalar :class:`~repro.core.routing.GreedyRouter`.
+6), and all three recovery strategies of Section 6.  Parity is asserted
+path-for-path by ``tests/property/test_property_fastpath.py``.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ from repro.core.routing import (
     RoutingMode,
 )
 from repro.fastpath.snapshot import FastpathSnapshot
+from repro.util.rng import spawn_rng
 
 __all__ = ["BatchRouteResult", "BatchGreedyRouter", "FAILURE_CODES"]
 
@@ -72,7 +87,8 @@ class BatchRouteResult:
     success:
         ``bool[num_queries]`` — whether each message reached its target.
     hops:
-        ``int64[num_queries]`` — edges traversed per query.
+        ``int64[num_queries]`` — edges traversed per query (detour and
+        backtrack moves included, as in the scalar router).
     failure_codes:
         ``int8[num_queries]`` — :data:`FAILURE_CODES` encoding of the failure
         reason (0 on success).
@@ -81,6 +97,10 @@ class BatchRouteResult:
     paths:
         Per-query visited-label lists when the run recorded paths, else
         ``None`` (recording is intended for parity tests, not bulk runs).
+    reroutes:
+        ``int64[num_queries]`` — random re-route detours taken per query.
+    backtracks:
+        ``int64[num_queries]`` — backtracking moves taken per query.
     """
 
     sources: np.ndarray
@@ -90,6 +110,14 @@ class BatchRouteResult:
     failure_codes: np.ndarray
     final: np.ndarray
     paths: list[list[int]] | None = None
+    reroutes: np.ndarray | None = None
+    backtracks: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.reroutes is None:
+            self.reroutes = np.zeros(self.success.shape[0], dtype=np.int64)
+        if self.backtracks is None:
+            self.backtracks = np.zeros(self.success.shape[0], dtype=np.int64)
 
     def __len__(self) -> int:
         return int(self.success.shape[0])
@@ -139,9 +167,75 @@ class BatchRouteResult:
                     hops=int(self.hops[index]),
                     path=path,
                     failure_reason=self.failure_reason(index),
+                    reroutes=int(self.reroutes[index]),
+                    backtracks=int(self.backtracks[index]),
                 )
             )
         return results
+
+
+class _PrefixTable:
+    """Per-query map ``visited node -> consumed candidate-prefix length``.
+
+    The scalar backtracking router remembers, per visited node, which
+    next-hop candidates it has already tried.  Because candidates are
+    consumed in distance-sorted order, that set is always a prefix of the
+    sorted candidate list, so a single integer per (query, node) pair carries
+    the full state.  Entries live in a small, growable slot table per query
+    (``-1`` marks a free slot); the scalar router's bounded-memory rule —
+    forget a node's tried-set when it falls out of the backtrack window —
+    maps to :meth:`delete`.
+    """
+
+    def __init__(self, num_queries: int, initial_slots: int = 8) -> None:
+        self._nodes = np.full((num_queries, initial_slots), -1, dtype=np.int64)
+        self._counts = np.zeros((num_queries, initial_slots), dtype=np.int64)
+
+    def lookup(self, queries: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Consumed-prefix length of ``nodes[i]`` for query ``queries[i]`` (0 if absent)."""
+        match = self._nodes[queries] == nodes[:, None]
+        found = match.any(axis=1)
+        slot = match.argmax(axis=1)
+        counts = self._counts[queries, slot]
+        return np.where(found, counts, 0)
+
+    def store(self, queries: np.ndarray, nodes: np.ndarray, counts: np.ndarray) -> None:
+        """Set the consumed-prefix length, creating slots for new nodes."""
+        match = self._nodes[queries] == nodes[:, None]
+        found = match.any(axis=1)
+        slot = match.argmax(axis=1)
+        if found.any():
+            self._counts[queries[found], slot[found]] = counts[found]
+        new = ~found & (counts > 0)
+        if not new.any():
+            return
+        new_queries = queries[new]
+        while True:
+            free = self._nodes[new_queries] == -1
+            if free.any(axis=1).all():
+                break
+            self._grow()
+        free_slot = free.argmax(axis=1)
+        self._nodes[new_queries, free_slot] = nodes[new]
+        self._counts[new_queries, free_slot] = counts[new]
+
+    def delete(self, queries: np.ndarray, nodes: np.ndarray) -> None:
+        """Forget the entries of ``nodes[i]`` for query ``queries[i]`` (if present)."""
+        match = self._nodes[queries] == nodes[:, None]
+        found = match.any(axis=1)
+        if not found.any():
+            return
+        slot = match.argmax(axis=1)
+        self._nodes[queries[found], slot[found]] = -1
+        self._counts[queries[found], slot[found]] = 0
+
+    def _grow(self) -> None:
+        num_queries, slots = self._nodes.shape
+        nodes = np.full((num_queries, 2 * slots), -1, dtype=np.int64)
+        counts = np.zeros((num_queries, 2 * slots), dtype=np.int64)
+        nodes[:, :slots] = self._nodes
+        counts[:, :slots] = self._counts
+        self._nodes, self._counts = nodes, counts
 
 
 @dataclass
@@ -159,32 +253,59 @@ class BatchGreedyRouter:
     mode:
         Two-sided (default) or one-sided greedy forwarding.
     recovery:
-        Must be :attr:`RecoveryStrategy.TERMINATE`; the stateful Section-6
-        strategies raise :class:`NotImplementedError` (use the scalar router).
+        Any of the three Section-6 strategies (terminate, random re-route,
+        backtracking).
+    backtrack_depth:
+        Number of recently visited nodes remembered for backtracking
+        (the paper uses 5).
+    max_reroutes:
+        Random re-route detour budget per query.  Only 0 and 1 are supported
+        (1 is the scalar default): larger budgets interleave RNG draws across
+        queries in an order only sequential routing can reproduce, so they
+        raise :class:`NotImplementedError` — use the scalar router.
     strict_best_neighbor:
         Same knowledge-regime switch as the scalar router.
     hop_limit:
         Per-query hop budget; ``None`` derives the scalar router's default
         from the space size.
+    seed:
+        Seed for the random re-route stream, derived exactly as the scalar
+        router derives it.
+    reroute_pool:
+        Optional sequence of live-node labels, in the order the paired scalar
+        router's ``graph.labels(only_alive=True)`` returns them; detour draws
+        index into this pool.  ``None`` (default) uses the snapshot's live
+        vertices in ascending label order — correct for every graph built in
+        sorted label order, which all one-shot builders guarantee.
     """
 
     snapshot: FastpathSnapshot
     mode: RoutingMode = RoutingMode.TWO_SIDED
     recovery: RecoveryStrategy = RecoveryStrategy.TERMINATE
+    backtrack_depth: int = 5
+    max_reroutes: int = 1
     strict_best_neighbor: bool = False
     hop_limit: int | None = None
+    seed: int = 0
+    reroute_pool: object = None
+    _pool_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.recovery is not RecoveryStrategy.TERMINATE:
+        if self.backtrack_depth < 1:
+            raise ValueError(f"backtrack_depth must be >= 1, got {self.backtrack_depth}")
+        if self.max_reroutes not in (0, 1):
             raise NotImplementedError(
-                f"the fastpath engine only supports the "
-                f"{RecoveryStrategy.TERMINATE.value!r} recovery strategy; "
-                f"{self.recovery.value!r} keeps per-query mutable state — "
-                "fall back to the scalar repro.core.routing.GreedyRouter"
+                f"the fastpath engine supports max_reroutes 0 or 1 (the scalar "
+                f"default), got {self.max_reroutes}: larger budgets interleave "
+                "RNG draws across queries — use the scalar "
+                "repro.core.routing.GreedyRouter"
             )
         if self.hop_limit is None:
             size = max(4, self.snapshot.space_size)
             self.hop_limit = int(50 * np.ceil(np.log2(size)) ** 2 + 100)
+        # One stream for the router's lifetime, exactly like the scalar
+        # router: batches routed back-to-back continue the same sequence.
+        self._reroute_rng = spawn_rng(self.seed, "random-reroute")
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -242,6 +363,8 @@ class BatchGreedyRouter:
         success = np.zeros(num_queries, dtype=bool)
         hops = np.zeros(num_queries, dtype=np.int64)
         codes = np.zeros(num_queries, dtype=np.int8)
+        reroutes = np.zeros(num_queries, dtype=np.int64)
+        backtracks = np.zeros(num_queries, dtype=np.int64)
         current = source_index.copy()
         paths: list[list[int]] | None = None
         if record_paths:
@@ -256,19 +379,90 @@ class BatchGreedyRouter:
         success[trivial] = True
 
         active = np.flatnonzero(~dead_source & ~dead_target & ~trivial)
+        if self.recovery is RecoveryStrategy.BACKTRACK:
+            self._run_backtrack(
+                active, current, target_index, success, hops, codes, backtracks, paths
+            )
+        else:
+            self._run_forward(
+                active, current, target_index, success, hops, codes, reroutes, paths
+            )
+
+        return BatchRouteResult(
+            sources=sources,
+            targets=targets,
+            success=success,
+            hops=hops,
+            failure_codes=codes,
+            final=labels[current].copy(),
+            paths=paths,
+            reroutes=reroutes,
+            backtracks=backtracks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward-only routing (terminate / random re-route)
+    # ------------------------------------------------------------------ #
+
+    def _run_forward(
+        self, active, current, target_index, success, hops, codes, reroutes, paths
+    ) -> None:
+        """Lock-step greedy forwarding with optional random re-route detours.
+
+        Stuck queries with detour budget are *frozen* rather than resolved in
+        place; once every query has either finished or frozen, detours are
+        drawn in ascending query order (the order a scalar router sharing one
+        RNG stream would draw in) and the frozen queries resume.  With the
+        supported budget of one detour per query this reproduces the scalar
+        draw sequence exactly.
+        """
+        snapshot = self.snapshot
+        labels = snapshot.labels
         matrices = snapshot.routing_matrices()
         # Skip the per-hop liveness gather entirely on a failure-free
         # snapshot — the common case for the no-failure experiment rows.
-        all_alive = bool(alive.all())
+        all_alive = bool(snapshot.alive.all())
+        rerouting = self.recovery is RecoveryStrategy.RANDOM_REROUTE
+        # Per-query detour target (vertex index), -1 when routing to the
+        # real target.
+        detour = np.full(current.shape[0], -1, dtype=np.int64)
+        pending: list[int] = []
 
-        step = 0
-        while active.size and step < self.hop_limit:
-            chosen, stuck = self._step(
-                matrices, current[active], target_index[active], all_alive
-            )
-            # Stuck queries terminate here (the terminate strategy).
-            stuck_queries = active[stuck]
-            codes[stuck_queries] = FAILURE_CODES[FailureReason.STUCK]
+        while active.size or pending:
+            if not active.size:
+                active = self._draw_detours(pending, current, detour, codes, reroutes)
+                pending = []
+                continue
+
+            # Per-query hop budget, checked before anything else — exactly
+            # the scalar loop condition.
+            over = hops[active] >= self.hop_limit
+            if over.any():
+                codes[active[over]] = FAILURE_CODES[FailureReason.HOP_LIMIT]
+                active = active[~over]
+                if not active.size:
+                    continue
+
+            # Arriving at the detour node costs no hop: resume routing to
+            # the real target from there.
+            active_detour = detour[active]
+            at_detour = (active_detour >= 0) & (current[active] == active_detour)
+            if at_detour.any():
+                detour[active[at_detour]] = -1
+            goal = np.where(detour[active] >= 0, detour[active], target_index[active])
+
+            chosen, stuck = self._step(matrices, current[active], goal, all_alive)
+
+            if stuck.any():
+                stuck_queries = active[stuck]
+                if rerouting:
+                    can_detour = reroutes[stuck_queries] < self.max_reroutes
+                    pending.extend(int(q) for q in stuck_queries[can_detour])
+                    codes[stuck_queries[~can_detour]] = FAILURE_CODES[
+                        FailureReason.STUCK
+                    ]
+                else:
+                    codes[stuck_queries] = FAILURE_CODES[FailureReason.STUCK]
 
             movers = ~stuck
             moving_queries = active[movers]
@@ -281,20 +475,277 @@ class BatchGreedyRouter:
             arrived = current[moving_queries] == target_index[moving_queries]
             success[moving_queries[arrived]] = True
             active = moving_queries[~arrived]
-            step += 1
 
-        # Whatever is still active ran out of hop budget.
-        codes[active] = FAILURE_CODES[FailureReason.HOP_LIMIT]
+    def _reroute_pool_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The detour pool as (vertex indices, vertex -> pool position)."""
+        if self._pool_cache is None:
+            if self.reroute_pool is not None:
+                pool_labels = np.asarray(list(self.reroute_pool), dtype=np.int64)
+                pool = self.snapshot.indices_of(pool_labels)
+            else:
+                pool = np.flatnonzero(self.snapshot.alive).astype(np.int64)
+            position = np.full(self.snapshot.num_nodes, -1, dtype=np.int64)
+            position[pool] = np.arange(pool.size)
+            self._pool_cache = (pool, position)
+        return self._pool_cache
 
-        return BatchRouteResult(
-            sources=sources,
-            targets=targets,
-            success=success,
-            hops=hops,
-            failure_codes=codes,
-            final=labels[current].copy(),
-            paths=paths,
+    def _draw_detours(self, pending, current, detour, codes, reroutes) -> np.ndarray:
+        """Draw a detour target for every frozen query, in query order.
+
+        Reproduces ``GreedyRouter._pick_random_live_node`` per query: a
+        uniform index into the live pool minus the query's current node, one
+        ``integers`` call per draw from the shared stream.  Queries with no
+        other live node fail as stuck without consuming a draw.  Returns the
+        reactivated query indices.
+        """
+        pool, position = self._reroute_pool_arrays()
+        rng = self._reroute_rng
+        reactivated: list[int] = []
+        for query in sorted(pending):
+            at = int(position[current[query]])
+            available = pool.size - 1 if at >= 0 else pool.size
+            if available <= 0:
+                codes[query] = FAILURE_CODES[FailureReason.STUCK]
+                continue
+            index = int(rng.integers(0, available))
+            if at >= 0 and index >= at:
+                index += 1
+            detour[query] = pool[index]
+            reroutes[query] += 1
+            reactivated.append(query)
+        return np.asarray(reactivated, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Backtracking routing
+    # ------------------------------------------------------------------ #
+
+    def _run_backtrack(
+        self, active, current, target_index, success, hops, codes, backtracks, paths
+    ) -> None:
+        """Lock-step greedy routing with per-query backtracking state.
+
+        Per query: a ``backtrack_depth``-deep ring buffer of recently
+        forwarded-from vertices and a :class:`_PrefixTable` of consumed
+        candidates.  Each iteration advances every in-flight query by exactly
+        one scalar-loop iteration (a forward move, a backtrack move, or a
+        terminal verdict), so hop counts, paths, and tie-breaks match the
+        scalar router move for move.
+        """
+        snapshot = self.snapshot
+        dense, valid_matrix, label_matrix = snapshot.routing_matrices()
+        compact_labels = snapshot.labels_compact()
+        alive = snapshot.alive
+        labels = snapshot.labels
+        depth = self.backtrack_depth
+        num_queries = current.shape[0]
+
+        history = np.full((num_queries, depth), -1, dtype=np.int64)
+        history_len = np.zeros(num_queries, dtype=np.int64)
+        tried = _PrefixTable(num_queries)
+
+        while active.size:
+            # Scalar loop order: hop budget first, then the arrival check.
+            over = hops[active] >= self.hop_limit
+            if over.any():
+                codes[active[over]] = FAILURE_CODES[FailureReason.HOP_LIMIT]
+                active = active[~over]
+                if not active.size:
+                    break
+            arrived = current[active] == target_index[active]
+            if arrived.any():
+                success[active[arrived]] = True
+                active = active[~arrived]
+                if not active.size:
+                    break
+
+            chosen, new_consumed, consumed_nodes, stuck = self._backtrack_select(
+                dense, valid_matrix, label_matrix, compact_labels, alive,
+                active, current, target_index, tried,
+            )
+            tried.store(active, consumed_nodes, new_consumed)
+
+            movers = ~stuck
+            moving_queries = active[movers]
+            if moving_queries.size:
+                from_vertex = current[moving_queries].copy()
+                # Push the departed vertex into the history window; when the
+                # window overflows, forget the dropped vertex's tried-set
+                # unless it still appears elsewhere in the window.
+                full = history_len[moving_queries] == depth
+                if full.any():
+                    full_queries = moving_queries[full]
+                    dropped = history[full_queries, 0].copy()
+                    history[full_queries, :-1] = history[full_queries, 1:]
+                    history[full_queries, -1] = from_vertex[full]
+                    still_present = (history[full_queries] == dropped[:, None]).any(axis=1)
+                    if (~still_present).any():
+                        tried.delete(full_queries[~still_present], dropped[~still_present])
+                partial = ~full
+                if partial.any():
+                    partial_queries = moving_queries[partial]
+                    history[partial_queries, history_len[partial_queries]] = (
+                        from_vertex[partial]
+                    )
+                    history_len[partial_queries] += 1
+                current[moving_queries] = chosen[movers]
+                hops[moving_queries] += 1
+                if paths is not None:
+                    for query in moving_queries:
+                        paths[query].append(int(labels[current[query]]))
+
+            stuck_queries = active[stuck]
+            returning = np.empty(0, dtype=np.int64)
+            if stuck_queries.size:
+                can_return = history_len[stuck_queries] > 0
+                returning = stuck_queries[can_return]
+                if returning.size:
+                    previous = history[returning, history_len[returning] - 1]
+                    history_len[returning] -= 1
+                    current[returning] = previous
+                    hops[returning] += 1
+                    backtracks[returning] += 1
+                    if paths is not None:
+                        for query in returning:
+                            paths[query].append(int(labels[current[query]]))
+                exhausted = stuck_queries[~can_return]
+                codes[exhausted] = FAILURE_CODES[FailureReason.STUCK]
+
+            active = np.sort(np.concatenate([moving_queries, returning]))
+
+    def _backtrack_select(
+        self,
+        dense,
+        valid_matrix,
+        label_matrix,
+        compact_labels,
+        alive,
+        active,
+        current,
+        target_index,
+        tried: _PrefixTable,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pick each active query's next untried candidate, consuming prefixes.
+
+        Returns ``(chosen, new_consumed, nodes, stuck)``: the next-hop vertex
+        per query (undefined where stuck), the updated consumed-prefix length
+        for the query's current vertex, that vertex, and the stuck mask.
+        """
+        snapshot = self.snapshot
+        cur = current[active]
+        tgt = target_index[active]
+        neighbors = dense[cur]
+        valid = valid_matrix[cur]
+        neighbor_labels = label_matrix[cur]
+        current_labels = compact_labels[cur]
+        target_labels = compact_labels[tgt]
+
+        current_distance = snapshot.distance(current_labels, target_labels)
+        neighbor_distance = snapshot.distance(neighbor_labels, target_labels[:, None])
+        candidates = valid & (neighbor_distance < current_distance[:, None])
+        if self.mode is RoutingMode.ONE_SIDED:
+            before = snapshot.displacement(current_labels, target_labels)
+            after = snapshot.displacement(neighbor_labels, target_labels[:, None])
+            overshoot = ((before[:, None] > 0) != (after > 0)) & (after != 0)
+            candidates &= ~overshoot
+
+        blocked = neighbor_distance.dtype.type(snapshot.space_size + 1)
+        keyed = np.where(candidates, neighbor_distance, blocked)
+        row = np.arange(active.size)
+
+        # Fast path — by far the most common case: the query is visiting this
+        # node for the first time (nothing consumed), so the scalar router
+        # simply takes its closest candidate.  ``argmin`` finds it without
+        # the sort-and-dedup machinery; consuming it sets the prefix to 1.
+        # Lenient queries whose closest candidate is dead (they would skip
+        # and consume further) drop to the full path below.
+        consumed = tried.lookup(active, cur)
+        first_pick = np.argmin(keyed, axis=1)
+        has_candidate = keyed[row, first_pick] < blocked
+        first_choice = neighbors[row, first_pick].astype(np.int64)
+        first_alive = alive[np.where(has_candidate, first_choice, 0)]
+        if self.strict_best_neighbor:
+            cheap = consumed == 0
+            cheap_stuck = ~has_candidate | ~first_alive
+        else:
+            cheap = (consumed == 0) & (~has_candidate | first_alive)
+            cheap_stuck = ~has_candidate
+        if cheap.all():
+            chosen = first_choice
+            stuck = cheap_stuck
+            new_consumed = np.where(has_candidate, 1, 0)
+            return chosen, new_consumed, cur, stuck
+
+        chosen = first_choice
+        stuck = cheap_stuck.copy()
+        new_consumed = np.where(has_candidate, 1, 0)
+        full = np.flatnonzero(~cheap)
+        (
+            chosen[full],
+            new_consumed[full],
+            stuck[full],
+        ) = self._backtrack_select_full(
+            neighbors[full], keyed[full], blocked, alive, consumed[full]
         )
+        return chosen, new_consumed, cur, stuck
+
+    def _backtrack_select_full(
+        self, neighbors, keyed, blocked, alive, consumed
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The general prefix-consuming selection for revisited/degraded rows."""
+        # Stable argsort by distance == the scalar router's stable
+        # sort-by-distance with earliest-neighbour tie-break; non-candidates
+        # sink to the back.
+        order = np.argsort(keyed, axis=1, kind="stable")
+        sorted_neighbors = np.take_along_axis(neighbors, order, axis=1)
+        sorted_keyed = np.take_along_axis(keyed, order, axis=1)
+        is_candidate = sorted_keyed < blocked
+
+        # A neighbour row may list the same vertex twice (e.g. a long link to
+        # the node's own ring neighbour).  The scalar tried-set holds *labels*,
+        # so consuming a candidate consumes every duplicate of it: the prefix
+        # arithmetic lives on the deduplicated sorted list.  Mark every
+        # repeated occurrence (value-sorted adjacency; the stable sort keeps
+        # the distance-order first occurrence first).
+        value = np.where(is_candidate, sorted_neighbors.astype(np.int64), -1)
+        value_order = np.argsort(value, axis=1, kind="stable")
+        value_sorted = np.take_along_axis(value, value_order, axis=1)
+        repeat_sorted = np.zeros_like(is_candidate)
+        repeat_sorted[:, 1:] = (value_sorted[:, 1:] == value_sorted[:, :-1]) & (
+            value_sorted[:, 1:] >= 0
+        )
+        repeated = np.zeros_like(is_candidate)
+        np.put_along_axis(repeated, value_order, repeat_sorted, axis=1)
+        distinct = is_candidate & ~repeated
+        candidate_count = distinct.sum(axis=1).astype(np.int64)
+        # 0-based rank of each distinct candidate in distance order (garbage
+        # in non-distinct slots; every use below is masked by ``distinct``).
+        rank = distinct.cumsum(axis=1) - 1
+
+        row = np.arange(neighbors.shape[0])
+        if self.strict_best_neighbor:
+            # The node commits to its single best untried candidate: the
+            # candidate is consumed either way, and a dead pick means the
+            # node is stuck for this visit.
+            has_untried = consumed < candidate_count
+            at_consumed = distinct & (rank == consumed[:, None])
+            pick = at_consumed.argmax(axis=1)
+            chosen = sorted_neighbors[row, pick].astype(np.int64)
+            chosen_alive = alive[np.where(has_untried, chosen, 0)]
+            stuck = ~has_untried | ~chosen_alive
+            new_consumed = np.where(has_untried, consumed + 1, consumed)
+        else:
+            # Lenient model: dead untried candidates are consumed and
+            # skipped until a live one is found.
+            safe_neighbors = np.where(sorted_neighbors >= 0, sorted_neighbors, 0)
+            eligible = (
+                distinct & (rank >= consumed[:, None]) & alive[safe_neighbors]
+            )
+            found = eligible.any(axis=1)
+            pick = eligible.argmax(axis=1)
+            chosen = sorted_neighbors[row, pick].astype(np.int64)
+            stuck = ~found
+            new_consumed = np.where(found, rank[row, pick] + 1, candidate_count)
+        return chosen, new_consumed, stuck
 
     # ------------------------------------------------------------------ #
     # One vectorized greedy step
@@ -307,7 +758,7 @@ class BatchGreedyRouter:
         target: np.ndarray,
         all_alive: bool,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Advance every active query one hop.
+        """Advance every active query one hop towards its goal.
 
         Returns ``(chosen, stuck)``: the next-hop vertex index per query
         (undefined where stuck) and the boolean stuck mask.

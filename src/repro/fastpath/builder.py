@@ -1,0 +1,186 @@
+"""Direct-to-CSR network builds: sample a snapshot without object graphs.
+
+The object build path (:func:`repro.core.builder.build_ideal_network` followed
+by :func:`repro.fastpath.snapshot.compile_snapshot`) materialises an
+:class:`~repro.core.graph.OverlayGraph` — one ``OverlayNode`` plus a
+``LongLink`` record per sampled link — only to flatten it straight back into
+arrays.  At paper scale (2^17 nodes, 17 links each) that detour through ~2.4
+million Python objects dominates experiment start-up.
+
+:func:`build_snapshot` skips it entirely: all long links for all nodes are
+drawn in **one batched inverse-CDF sample**
+(:meth:`~repro.core.distributions.InversePowerLawDistribution.sample_neighbors_batch`)
+and the CSR adjacency is assembled with bulk NumPy scatter/gather, emitting a
+:class:`~repro.fastpath.snapshot.FastpathSnapshot` directly.
+
+Equivalence contract
+--------------------
+``build_snapshot(n, l, seed)`` is **bit-identical** to
+``compile_snapshot(build_ideal_network(n, l, seed).graph)`` — same labels,
+same CSR row pointers, same neighbour order per vertex.  That holds because
+the object builder consumes the *same* batched draw from the same derived
+stream (``spawn_rng(seed, "links")``) in the same row-major order, and the
+CSR assembly reproduces ``compile_snapshot``'s neighbour order exactly: short
+links first, then deduplicated long links in draw order, then (when
+``symmetric_neighbors``) incoming long links in source-creation order,
+skipping sources already present in the row.
+``tests/property/test_property_fastpath.py`` asserts the equivalence across
+random sizes, link counts, and seeds.
+
+Only the fully populated ring is supported — the configuration of every
+Figure-6/7 and Table-1 scaling run.  Binomially placed nodes
+(``presence_probability < 1``) condition each node's link distribution on the
+presence mask, which breaks the shift invariance batched sampling relies on;
+build those through the object path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributions import InversePowerLawDistribution
+from repro.fastpath.snapshot import FastpathSnapshot
+from repro.util.rng import spawn_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["build_snapshot"]
+
+
+def build_snapshot(
+    n: int,
+    links_per_node: int | None = None,
+    seed: int = 0,
+    exponent: float = 1.0,
+    symmetric_neighbors: bool = True,
+) -> FastpathSnapshot:
+    """Build the paper's standard ring network straight into a snapshot.
+
+    Mirrors :func:`repro.core.builder.build_ideal_network` (fully populated
+    ring, inverse power-law long links, ``ceil(lg n)`` links per node by
+    default) but never touches the object layer; see the module docstring for
+    the equivalence contract with the object build path.
+
+    Parameters
+    ----------
+    n:
+        Ring size; every point hosts a node, so this is also the node count.
+    links_per_node:
+        Long links per node (default ``ceil(lg n)``, the paper's Section-6
+        choice).
+    seed:
+        Base seed; the long-link stream is ``spawn_rng(seed, "links")``,
+        exactly as in :class:`~repro.core.builder.RandomGraphBuilder`.
+    exponent:
+        Power-law exponent of the link distribution (default 1).
+    symmetric_neighbors:
+        Fold incoming long links into each vertex's neighbour row (the
+        handshake model the scalar router defaults to).
+    """
+    ensure_positive(n, "n")
+    if links_per_node is None:
+        links_per_node = max(1, int(np.ceil(np.log2(n))))
+
+    labels = np.arange(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Long links: one batched draw for every (node, link slot), then a
+    # stable first-occurrence dedup per row (the builder collapses repeated
+    # samples of the same target; the paper samples with replacement).
+    # ------------------------------------------------------------------ #
+    if n >= 2 and links_per_node > 0:
+        distribution = InversePowerLawDistribution(n, exponent=exponent)
+        link_rng = spawn_rng(seed, "links")
+        targets = distribution.sample_neighbors_batch(labels, links_per_node, link_rng)
+        order = np.argsort(targets, axis=1, kind="stable")
+        sorted_targets = np.take_along_axis(targets, order, axis=1)
+        duplicate = np.zeros_like(sorted_targets, dtype=bool)
+        duplicate[:, 1:] = sorted_targets[:, 1:] == sorted_targets[:, :-1]
+        keep = np.ones_like(duplicate)
+        np.put_along_axis(keep, order, ~duplicate, axis=1)
+    else:
+        targets = np.empty((n, 0), dtype=np.int64)
+        keep = np.empty((n, 0), dtype=bool)
+
+    out_count = keep.sum(axis=1).astype(np.int64)
+    flat_keep = keep.ravel()
+    edge_source = np.repeat(labels, targets.shape[1])[flat_keep]
+    edge_target = targets.ravel()[flat_keep]
+
+    # ------------------------------------------------------------------ #
+    # Short links: the sorted ring of immediate neighbours.
+    # ------------------------------------------------------------------ #
+    if n == 1:
+        short_count = 0
+        left = right = np.empty(0, dtype=np.int64)
+    elif n == 2:
+        # Both ring directions reach the single other node; the compiled row
+        # stores it once (``right`` equals ``left``).
+        short_count = 1
+        left = right = (labels + 1) % 2
+    else:
+        short_count = 2
+        left = (labels - 1) % n
+        right = (labels + 1) % n
+
+    # ------------------------------------------------------------------ #
+    # Incoming long links (symmetric neighbour knowledge): group the kept
+    # edges by target, preserving source-creation order, and drop sources
+    # already present in the row (a short neighbour, or a reciprocal long
+    # link) — the same dedup ``compile_snapshot`` applies.
+    # ------------------------------------------------------------------ #
+    if symmetric_neighbors and edge_source.size:
+        by_target = np.argsort(edge_target, kind="stable")
+        in_source = edge_source[by_target]
+        in_target = edge_target[by_target]
+        already = (in_source == left[in_target]) | (in_source == right[in_target])
+        # Reciprocal long link: the row of ``in_target`` already contains
+        # ``in_source`` iff the kept edge (in_target -> in_source) exists.
+        edge_keys = np.sort(edge_source * n + edge_target)
+        reverse_keys = in_target * n + in_source
+        position = np.searchsorted(edge_keys, reverse_keys)
+        position_clipped = np.minimum(position, edge_keys.size - 1)
+        already |= (position < edge_keys.size) & (
+            edge_keys[position_clipped] == reverse_keys
+        )
+        in_source = in_source[~already]
+        in_target = in_target[~already]
+        in_count = np.bincount(in_target, minlength=n).astype(np.int64)
+    else:
+        in_source = in_target = np.empty(0, dtype=np.int64)
+        in_count = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # CSR assembly: shorts, then kept long links, then incoming links.
+    # Labels equal vertex indices on the fully populated ring, so targets
+    # scatter straight into the index array.
+    # ------------------------------------------------------------------ #
+    degrees = short_count + out_count + in_count
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    base = indptr[:-1]
+    if short_count >= 1:
+        indices[base] = left
+    if short_count == 2:
+        indices[base + 1] = right
+    if edge_source.size:
+        rank = keep.cumsum(axis=1) - 1
+        long_positions = (base[:, None] + short_count + rank).ravel()[flat_keep]
+        indices[long_positions] = edge_target
+    if in_source.size:
+        group_start = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_count, out=group_start[1:])
+        rank_in = np.arange(in_source.size, dtype=np.int64) - group_start[in_target]
+        indices[base[in_target] + short_count + out_count[in_target] + rank_in] = (
+            in_source
+        )
+
+    return FastpathSnapshot(
+        kind="ring",
+        space_size=n,
+        labels=labels,
+        alive=np.ones(n, dtype=bool),
+        neighbor_indptr=indptr,
+        neighbor_indices=indices,
+        symmetric_neighbors=symmetric_neighbors,
+    )

@@ -2,21 +2,25 @@
 
 The fastpath contract (see :mod:`repro.fastpath`) is *hop-for-hop* equality
 with the object engine for every configuration the batch router supports:
-same paths, same hop counts, same success verdicts, same failure reasons —
-for both routing modes, with and without node failures, under both
+same paths, same hop counts, same success verdicts, same failure reasons,
+same detour draws, same backtrack moves — for both routing modes, all three
+Section-6 recovery strategies, with and without node failures, under both
 neighbour-knowledge regimes.  These tests generate random topologies, seeds,
-and failure levels and assert exactly that.
+and failure levels and assert exactly that, plus the direct-build contract:
+:func:`repro.fastpath.build_snapshot` emits bit-identical snapshots to the
+object build path at every seed.
 """
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.builder import build_ideal_network
 from repro.core.failures import NodeFailureModel
 from repro.core.routing import GreedyRouter, RecoveryStrategy, RoutingMode
-from repro.fastpath import BatchGreedyRouter, compile_snapshot
+from repro.fastpath import BatchGreedyRouter, build_snapshot, compile_snapshot
 from repro.simulation.workload import LookupWorkload
 
 
@@ -32,25 +36,42 @@ def routed_scenario(draw):
     return n, seed, links, failure_level, queries
 
 
-def _assert_parity(graph, pairs, mode, strict):
-    """Assert hop-for-hop equality between the two engines on ``pairs``."""
+def _assert_parity(
+    graph, pairs, mode, strict, recovery=RecoveryStrategy.TERMINATE, seed=0
+):
+    """Assert hop-for-hop equality between the two engines on ``pairs``.
+
+    The scalar router routes the batch sequentially through one instance (one
+    shared re-route stream), which is exactly the draw order the batch engine
+    reproduces.
+    """
     scalar = GreedyRouter(
         graph,
         mode=mode,
-        recovery=RecoveryStrategy.TERMINATE,
+        recovery=recovery,
         strict_best_neighbor=strict,
+        seed=seed,
     )
     batch = BatchGreedyRouter(
-        compile_snapshot(graph), mode=mode, strict_best_neighbor=strict
+        compile_snapshot(graph),
+        mode=mode,
+        recovery=recovery,
+        strict_best_neighbor=strict,
+        seed=seed,
+        reroute_pool=graph.labels(only_alive=True)
+        if recovery is RecoveryStrategy.RANDOM_REROUTE
+        else None,
     )
     result = batch.route_pairs(pairs, record_paths=True)
     assert batch.hop_limit == scalar.hop_limit
-    for index, (source, target) in enumerate(pairs):
-        reference = scalar.route(source, target)
+    references = scalar.route_many(pairs)
+    for index, reference in enumerate(references):
         assert bool(result.success[index]) == reference.success
         assert int(result.hops[index]) == reference.hops
         assert result.paths[index] == reference.path
         assert result.failure_reason(index) == reference.failure_reason
+        assert int(result.reroutes[index]) == reference.reroutes
+        assert int(result.backtracks[index]) == reference.backtracks
 
 
 class TestHopForHopParity:
@@ -84,6 +105,40 @@ class TestHopForHopParity:
         _assert_parity(graph, pairs, mode, strict=True)
         model.repair(graph)
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        routed_scenario(),
+        st.sampled_from(list(RoutingMode)),
+        st.sampled_from([RecoveryStrategy.RANDOM_REROUTE, RecoveryStrategy.BACKTRACK]),
+    )
+    def test_recovery_strategies_under_node_failures(self, scenario, mode, recovery):
+        """Re-route and backtracking are hop-for-hop identical across engines."""
+        n, seed, links, level, queries = scenario
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed + 19)
+        model.apply(graph)
+        pairs = LookupWorkload(seed=seed + 4).pairs(graph.labels(only_alive=True), queries)
+        _assert_parity(graph, pairs, mode, strict=False, recovery=recovery, seed=seed + 23)
+        model.repair(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        routed_scenario(),
+        st.sampled_from([RecoveryStrategy.RANDOM_REROUTE, RecoveryStrategy.BACKTRACK]),
+    )
+    def test_recovery_strategies_strict_regime(self, scenario, recovery):
+        """The strict knowledge regime keeps recovery parity as well."""
+        n, seed, links, level, queries = scenario
+        graph = build_ideal_network(n, links_per_node=links, seed=seed).graph
+        model = NodeFailureModel(level, seed=seed + 29)
+        model.apply(graph)
+        pairs = LookupWorkload(seed=seed + 6).pairs(graph.labels(only_alive=True), queries)
+        _assert_parity(
+            graph, pairs, RoutingMode.TWO_SIDED, strict=True,
+            recovery=recovery, seed=seed + 31,
+        )
+        model.repair(graph)
+
     @settings(max_examples=15, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=40),
@@ -101,3 +156,54 @@ class TestHopForHopParity:
         if pairs:
             _assert_parity(graph, pairs, RoutingMode.TWO_SIDED, strict=False)
         model.repair(graph)
+
+
+class TestDirectBuildEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        exponent=st.integers(min_value=2, max_value=10),
+        links=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=60),
+        symmetric=st.booleans(),
+    )
+    def test_direct_build_equals_object_build_plus_compile(
+        self, exponent, links, seed, symmetric
+    ):
+        """``build_snapshot`` is bit-identical to build + compile at any seed."""
+        n = 1 << exponent
+        compiled = compile_snapshot(
+            build_ideal_network(n, links_per_node=links, seed=seed).graph,
+            symmetric_neighbors=symmetric,
+        )
+        direct = build_snapshot(
+            n, links_per_node=links, seed=seed, symmetric_neighbors=symmetric
+        )
+        assert compiled.kind == direct.kind == "ring"
+        assert compiled.space_size == direct.space_size
+        assert np.array_equal(compiled.labels, direct.labels)
+        assert np.array_equal(compiled.alive, direct.alive)
+        assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
+        assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        exponent=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_direct_build_respects_exponent(self, seed, exponent):
+        """Non-default power-law exponents keep the equivalence."""
+        from repro.core.builder import RandomGraphBuilder
+        from repro.core.distributions import InversePowerLawDistribution
+        from repro.core.metric import RingMetric
+
+        n = 256
+        builder = RandomGraphBuilder(
+            space=RingMetric(n),
+            distribution=InversePowerLawDistribution(n, exponent=exponent),
+            links_per_node=3,
+            seed=seed,
+        )
+        compiled = compile_snapshot(builder.build().graph)
+        direct = build_snapshot(n, links_per_node=3, seed=seed, exponent=exponent)
+        assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
+        assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)

@@ -114,15 +114,56 @@ class TestFigure6:
         result = run_figure6(
             nodes=128,
             searches_per_point=10,
-            failure_levels=[0.4],
+            failure_levels=[0.4, 0.6],
             seed=0,
             engine="fastpath",
         )
+        # Every strategy runs on the fastpath engine at every failure level.
         assert result.parameters["engine_used"] == {
             "terminate": "fastpath",
-            "random-reroute": "object",
-            "backtrack": "object",
+            "random-reroute": "fastpath",
+            "backtrack": "fastpath",
         }
+        assert result.parameters["engines_used_per_level"] == {
+            "terminate": ["fastpath", "fastpath"],
+            "random-reroute": ["fastpath", "fastpath"],
+            "backtrack": ["fastpath", "fastpath"],
+        }
+
+    def test_golden_numbers_pinned(self):
+        """Expected-value pin of the derive_seed-based per-level streams.
+
+        Guards the seed-derivation refactor: any change to how build /
+        failure / workload / routing seeds are derived (or to the batched
+        link sampling) shows up here as a changed number.  Both engines must
+        reproduce these exact values.
+        """
+        for engine in ("object", "fastpath"):
+            result = run_figure6(
+                nodes=256,
+                searches_per_point=40,
+                failure_levels=[0.0, 0.4],
+                seed=0,
+                engine=engine,
+            )
+            assert result.failed_fraction == {
+                "terminate": [0.0, 0.125],
+                "random-reroute": [0.0, 0.025],
+                "backtrack": [0.0, 0.0],
+            }, engine
+            assert result.mean_hops["terminate"][0] == pytest.approx(3.2)
+            assert result.mean_hops["terminate"][1] == pytest.approx(3.7428571429)
+            assert result.mean_hops["random-reroute"][1] == pytest.approx(4.2307692308)
+            assert result.mean_hops["backtrack"][1] == pytest.approx(4.625)
+
+    def test_engines_agree_at_fixed_seed(self):
+        kwargs = dict(
+            nodes=256, searches_per_point=40, failure_levels=[0.0, 0.5], seed=4
+        )
+        obj = run_figure6(engine="object", **kwargs)
+        fast = run_figure6(engine="fastpath", **kwargs)
+        assert obj.failed_fraction == fast.failed_fraction
+        assert obj.mean_hops == fast.mean_hops
 
     def test_backtracking_not_worse_than_terminate(self):
         result = run_figure6(
@@ -151,6 +192,20 @@ class TestFigure7:
         assert result.ideal_failed_fraction[0] == 0.0
         assert result.constructed_failed_fraction[0] == 0.0
         assert "Figure 7" in result.to_table().to_text()
+
+    def test_golden_numbers_pinned(self):
+        """Expected-value pin of the derive_seed-based figure7 streams."""
+        for engine in ("object", "fastpath"):
+            result = run_figure7(
+                nodes=128,
+                searches_per_point=30,
+                iterations=1,
+                failure_levels=[0.0, 0.5],
+                seed=0,
+                engine=engine,
+            )
+            assert result.ideal_failed_fraction == pytest.approx([0.0, 1 / 3])
+            assert result.constructed_failed_fraction == pytest.approx([0.0, 13 / 30])
 
 
 class TestTable1:

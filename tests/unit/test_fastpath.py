@@ -20,6 +20,7 @@ from repro.experiments.runner import route_pairs_with_engine
 from repro.fastpath import (
     BatchGreedyRouter,
     apply_node_failures,
+    build_snapshot,
     compile_snapshot,
     sample_node_failures,
     select_engine,
@@ -144,12 +145,63 @@ class TestCompileSnapshot:
             assert np.all(dense[index, degree:] == -1)
 
 
+class TestBuildSnapshot:
+    def test_bit_identical_to_object_build(self):
+        for n, links, seed in [(64, 3, 0), (128, 7, 5), (2, 1, 1), (100, 1, 3)]:
+            compiled = compile_snapshot(
+                build_ideal_network(n, links_per_node=links, seed=seed).graph
+            )
+            direct = build_snapshot(n, links_per_node=links, seed=seed)
+            assert np.array_equal(compiled.labels, direct.labels)
+            assert np.array_equal(compiled.alive, direct.alive)
+            assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
+            assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)
+            assert compiled.space_size == direct.space_size
+            assert direct.kind == "ring"
+
+    def test_asymmetric_build_drops_incoming(self):
+        compiled = compile_snapshot(
+            build_ideal_network(64, links_per_node=4, seed=7).graph,
+            symmetric_neighbors=False,
+        )
+        direct = build_snapshot(64, links_per_node=4, seed=7, symmetric_neighbors=False)
+        assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
+        assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)
+        assert not direct.symmetric_neighbors
+
+    def test_default_links_per_node_matches_paper_rule(self):
+        direct = build_snapshot(256, seed=1)
+        # ceil(lg 256) = 8 long links plus 2 short links, minus dedup losses.
+        degrees = direct.degrees()
+        assert degrees.min() >= 2
+        assert float(degrees.mean()) > 8
+
+    def test_routing_over_direct_snapshot(self):
+        direct = build_snapshot(512, seed=4)
+        result = BatchGreedyRouter(direct).route_batch([0, 5, 100], [256, 400, 17])
+        assert result.success.all()
+
+    def test_failures_compose_with_direct_build(self):
+        direct = build_snapshot(256, seed=6)
+        derived = apply_node_failures(direct, 0.3, seed=9)
+        assert derived.alive_count() == 256 - round(0.3 * 256)
+
+
 class TestBatchGreedyRouter:
-    def test_unsupported_recovery_raises_with_guidance(self, snapshot_256):
+    def test_all_recovery_strategies_construct(self, snapshot_256):
         _graph, snapshot = snapshot_256
-        for recovery in (RecoveryStrategy.RANDOM_REROUTE, RecoveryStrategy.BACKTRACK):
-            with pytest.raises(NotImplementedError, match="GreedyRouter"):
-                BatchGreedyRouter(snapshot, recovery=recovery)
+        for recovery in RecoveryStrategy:
+            router = BatchGreedyRouter(snapshot, recovery=recovery)
+            assert router.recovery is recovery
+
+    def test_multi_detour_budget_raises_with_guidance(self, snapshot_256):
+        _graph, snapshot = snapshot_256
+        with pytest.raises(NotImplementedError, match="GreedyRouter"):
+            BatchGreedyRouter(
+                snapshot,
+                recovery=RecoveryStrategy.RANDOM_REROUTE,
+                max_reroutes=2,
+            )
 
     def test_default_hop_limit_matches_scalar_router(self, snapshot_256):
         graph, snapshot = snapshot_256
@@ -265,37 +317,51 @@ class TestFastpathFailures:
 class TestEngineSelection:
     def test_supported_recoveries(self):
         assert supports_recovery(RecoveryStrategy.TERMINATE)
-        assert not supports_recovery(RecoveryStrategy.BACKTRACK)
-        assert not supports_recovery(RecoveryStrategy.RANDOM_REROUTE)
+        assert supports_recovery(RecoveryStrategy.BACKTRACK)
+        assert supports_recovery(RecoveryStrategy.RANDOM_REROUTE)
 
     def test_select_engine_fallback_and_validation(self):
-        assert select_engine("fastpath", RecoveryStrategy.TERMINATE) == "fastpath"
-        assert select_engine("fastpath", RecoveryStrategy.BACKTRACK) == "object"
-        assert select_engine("object", RecoveryStrategy.TERMINATE) == "object"
+        for recovery in RecoveryStrategy:
+            assert select_engine("fastpath", recovery) == "fastpath"
+            assert select_engine("object", recovery) == "object"
         with pytest.raises(ValueError):
             select_engine("gpu", RecoveryStrategy.TERMINATE)
 
-    def test_route_pairs_with_engine_parity_and_fallback(self):
-        from repro.experiments.runner import FastpathFallbackWarning
-
+    def test_route_pairs_with_engine_parity_all_strategies(self):
         graph = build_ideal_network(128, seed=10).graph
         pairs = LookupWorkload(seed=3).pairs(graph.labels(only_alive=True), 40)
-        obj = route_pairs_with_engine(graph, pairs, engine="object")
-        fast = route_pairs_with_engine(graph, pairs, engine="fastpath")
-        assert (obj.failures, obj.hops) == (fast.failures, fast.hops)
-        assert obj.engine_used == "object"
-        assert fast.engine_used == "fastpath"
-        # Backtracking falls back to the object engine rather than raising,
-        # but the downgrade is loud and recorded.
-        with pytest.warns(FastpathFallbackWarning):
-            fallback = route_pairs_with_engine(
-                graph, pairs, engine="fastpath", recovery=RecoveryStrategy.BACKTRACK
+        for recovery in RecoveryStrategy:
+            obj = route_pairs_with_engine(
+                graph, pairs, engine="object", recovery=recovery, seed=9
             )
-        reference = route_pairs_with_engine(
-            graph, pairs, engine="object", recovery=RecoveryStrategy.BACKTRACK
+            fast = route_pairs_with_engine(
+                graph, pairs, engine="fastpath", recovery=recovery, seed=9
+            )
+            assert (obj.failures, obj.hops) == (fast.failures, fast.hops)
+            assert obj.engine_used == "object"
+            assert fast.engine_used == "fastpath"
+
+    def test_unsupported_space_falls_back_with_warning(self):
+        from repro.experiments.runner import FastpathFallbackWarning
+
+        graph = OverlayGraph(TorusMetric(side=6, dimensions=2))
+        # The torus has no 1-D snapshot compilation; the harness downgrades
+        # loudly instead of failing the sweep.
+        with pytest.warns(FastpathFallbackWarning):
+            outcome = route_pairs_with_engine(graph, [], engine="fastpath")
+        assert outcome.engine_used == "object"
+
+    def test_snapshot_only_run_without_graph(self):
+        from repro.fastpath import build_snapshot
+
+        snapshot = build_snapshot(128, links_per_node=4, seed=2)
+        outcome = route_pairs_with_engine(
+            None, [(0, 64), (3, 99)], engine="fastpath", snapshot=snapshot
         )
-        assert (fallback.failures, fallback.hops) == (reference.failures, reference.hops)
-        assert fallback.engine_used == "object"
+        assert outcome.engine_used == "fastpath"
+        assert outcome.failures == 0
+        with pytest.raises(ValueError):
+            route_pairs_with_engine(None, [(0, 64)], engine="object")
 
 
 class TestNetworkHook:
@@ -314,13 +380,14 @@ class TestNetworkHook:
         result = router.route_batch([0, 4], [256, 300])
         assert len(result) == 2
 
-    def test_compile_fastpath_rejects_unsupported_default(self):
+    def test_compile_fastpath_supports_backtracking_default(self):
         network = P2PNetwork(space_size=256, seed=3)  # default: backtracking
         network.join_many(list(range(0, 256, 4)))
-        with pytest.raises(NotImplementedError):
-            network.compile_fastpath()
-        router = network.compile_fastpath(recovery=RecoveryStrategy.TERMINATE)
-        assert router.recovery is RecoveryStrategy.TERMINATE
+        router = network.compile_fastpath()
+        assert router.recovery is RecoveryStrategy.BACKTRACK
+        assert router.seed == network.seed
+        override = network.compile_fastpath(recovery=RecoveryStrategy.TERMINATE)
+        assert override.recovery is RecoveryStrategy.TERMINATE
 
     def test_compiled_router_matches_scalar_routing(self):
         network = P2PNetwork(space_size=1024, seed=4)

@@ -222,7 +222,7 @@ class TestRun:
         )
         assert run(spec).engine_used == "fastpath"
 
-    def test_run_reports_fastpath_downgrade(self):
+    def test_run_reports_fastpath_for_backtracking(self):
         spec = get_scenario("figure7").make_spec(
             overrides={
                 "topology.nodes": 128,
@@ -234,9 +234,9 @@ class TestRun:
         )
         result = run(spec)
         assert result.engine_requested == "fastpath"
-        assert result.engine_used == "object"
+        assert result.engine_used == "fastpath"
 
-    def test_figure6_mixed_strategies_report_both_engines(self):
+    def test_figure6_all_strategies_run_fastpath(self):
         spec = get_scenario("figure6").make_spec(
             overrides={
                 "topology.nodes": 128,
@@ -246,9 +246,10 @@ class TestRun:
             }
         )
         result = run(spec)
-        assert result.engine_used == "fastpath+object"
-        assert result.raw.parameters["engine_used"]["terminate"] == "fastpath"
-        assert result.raw.parameters["engine_used"]["backtrack"] == "object"
+        assert result.engine_used == "fastpath"
+        for strategy in ("terminate", "random-reroute", "backtrack"):
+            assert result.raw.parameters["engine_used"][strategy] == "fastpath"
+            assert result.raw.parameters["engines_used_per_level"][strategy] == ["fastpath"]
 
     def test_run_result_json_round_trip(self):
         spec = get_scenario("figure5").make_spec(
