@@ -7,6 +7,10 @@ simplification in which every node owns a unit hyper-cube cell of a
 ``side^d`` torus and neighbours are the ``2d`` adjacent cells: the state and
 hop-count scaling are exactly CAN's, which is what the comparison experiments
 need.
+
+As an :class:`~repro.overlay.Overlay`, CAN compiles into a snapshot executed
+by :class:`~repro.overlay.policy.TorusGreedyPolicy` (strictly decreasing L1
+torus distance), hop-for-hop identical to the scalar ``route()``.
 """
 
 from __future__ import annotations
@@ -14,18 +18,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.metric import TorusMetric
-from repro.core.routing import FailureReason, RouteResult
-from repro.util.rng import spawn_rng
+from repro.overlay.mixin import OverlayMixin
+from repro.overlay.policy import TorusGreedyPolicy
 from repro.util.validation import ensure_positive
 
 __all__ = ["CanNetwork"]
 
 
 @dataclass
-class CanNetwork:
+class CanNetwork(OverlayMixin):
     """A CAN-style d-dimensional torus of unit zones.
 
     Parameters
@@ -34,20 +36,21 @@ class CanNetwork:
         Number of zones along each dimension.
     dimensions:
         Number of dimensions ``d``.
-    seed:
-        Kept for interface symmetry (construction is deterministic).
     """
 
     side: int
     dimensions: int = 2
-    seed: int = 0
+
+    failure_stream = "can-failures"
+    snapshot_kind = "torus"
 
     def __post_init__(self) -> None:
         ensure_positive(self.side, "side")
         ensure_positive(self.dimensions, "dimensions")
         self.space = TorusMetric(self.side, dimensions=self.dimensions)
         self.size = self.side**self.dimensions
-        self._alive = np.ones(self.size, dtype=bool)
+        self.hop_limit = self.dimensions * self.side * 4 + 64
+        self._init_members(range(self.size))
 
     # ------------------------------------------------------------------ #
     # Coordinate helpers
@@ -80,80 +83,17 @@ class CanNetwork:
         return result
 
     # ------------------------------------------------------------------ #
-    # Membership and failures
+    # Routing — the mixin's default metric-greedy next_hop (live neighbour
+    # strictly closest under space.distance) is exactly CAN's rule.
     # ------------------------------------------------------------------ #
 
-    def labels(self, only_alive: bool = True) -> list[int]:
-        if only_alive:
-            return [int(i) for i in np.flatnonzero(self._alive)]
-        return list(range(self.size))
+    def _point_of(self, label: int) -> tuple[int, ...]:
+        return self.label_to_point(label)
 
-    def is_alive(self, label: int) -> bool:
-        return bool(self._alive[label])
-
-    def fail_node(self, label: int) -> None:
-        self._alive[label] = False
-
-    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
-        """Fail a uniformly random fraction of the live nodes."""
-        protect = protect or set()
-        rng = spawn_rng(seed, "can-failures")
-        candidates = [label for label in self.labels() if label not in protect]
-        count = min(len(candidates), int(round(fraction * len(candidates))))
-        victims: list[int] = []
-        if count > 0:
-            chosen = rng.choice(len(candidates), size=count, replace=False)
-            victims = [candidates[int(i)] for i in chosen]
-        for victim in victims:
-            self.fail_node(victim)
-        return victims
-
-    def repair(self) -> None:
-        self._alive[:] = True
+    def greedy_policy(self) -> TorusGreedyPolicy:
+        """Strictly decreasing L1 torus distance."""
+        return TorusGreedyPolicy(side=self.side, dimensions=self.dimensions)
 
     def state_per_node(self) -> int:
         """CAN's ``O(d)`` routing state: the number of zone neighbours."""
         return 2 * self.dimensions
-
-    # ------------------------------------------------------------------ #
-    # Routing
-    # ------------------------------------------------------------------ #
-
-    def route(self, source: int, target: int) -> RouteResult:
-        """Greedy zone-by-zone routing from ``source`` to ``target``."""
-        if not self.is_alive(source):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_SOURCE)
-        if not self.is_alive(target):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_TARGET)
-        target_point = self.label_to_point(target)
-        path = [source]
-        hops = 0
-        current = source
-        hop_limit = self.dimensions * self.side * 4 + 64
-        while hops < hop_limit:
-            if current == target:
-                return RouteResult(success=True, hops=hops, path=path)
-            current_distance = self.space.distance(
-                self.label_to_point(current), target_point
-            )
-            best: int | None = None
-            best_distance = current_distance
-            for neighbor in self.neighbors_of(current):
-                if not self.is_alive(neighbor):
-                    continue
-                distance = self.space.distance(
-                    self.label_to_point(neighbor), target_point
-                )
-                if distance < best_distance:
-                    best = neighbor
-                    best_distance = distance
-            if best is None:
-                return RouteResult(success=False, hops=hops, path=path,
-                                   failure_reason=FailureReason.STUCK)
-            current = best
-            path.append(current)
-            hops += 1
-        return RouteResult(success=False, hops=hops, path=path,
-                           failure_reason=FailureReason.HOP_LIMIT)

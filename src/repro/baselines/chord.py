@@ -7,25 +7,31 @@ that does not overshoot the target (one-sided clockwise routing).  The paper
 (Section 3) treats Chord as one instance of its general metric-space
 framework; this implementation lets the experiments compare hop counts and
 failure resilience against the inverse power-law overlay on the same ring.
+
+As an :class:`~repro.overlay.Overlay`, Chord compiles into a two-tier
+snapshot (fingers at edge class 0, successors at class 1) executed by
+:class:`~repro.overlay.policy.ChordGreedyPolicy`: the batched routes are
+hop-for-hop identical to the scalar ``route()``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.metric import RingMetric
-from repro.core.routing import FailureReason, RouteResult
-from repro.util.rng import spawn_rng
+from repro.overlay.mixin import OverlayMixin
+from repro.overlay.policy import ChordGreedyPolicy
 from repro.util.validation import ensure_positive
 
 __all__ = ["ChordNetwork"]
 
 
 @dataclass
-class ChordNetwork:
+class ChordNetwork(OverlayMixin):
     """A Chord ring over the identifier space ``[0, 2^bits)``.
 
     Parameters
@@ -39,27 +45,26 @@ class ChordNetwork:
         Length of the successor list each node keeps for fault tolerance
         (routing falls back to successors when all fingers overshoot or are
         dead).
-    seed:
-        Unused at present (Chord is deterministic given the membership) but
-        kept for interface symmetry with the randomized builders.
     """
 
     bits: int
     members: list[int] | None = None
     successor_list_length: int = 4
-    seed: int = 0
+
+    failure_stream = "chord-failures"
+    snapshot_kind = "chord"
 
     def __post_init__(self) -> None:
         ensure_positive(self.bits, "bits")
         self.size = 1 << self.bits
         self.space = RingMetric(self.size)
+        self.hop_limit = 4 * self.bits + 32
         if self.members is None:
             self.members = list(range(self.size))
         self.members = sorted(set(int(m) % self.size for m in self.members))
         if len(self.members) < 2:
             raise ValueError("a Chord ring needs at least two members")
-        self._alive: dict[int, bool] = {label: True for label in self.members}
-        self._member_array = np.array(self.members)
+        self._init_members(self.members)
         self._fingers: dict[int, list[int]] = {}
         self._successors: dict[int, list[int]] = {}
         self.build_routing_tables()
@@ -70,10 +75,10 @@ class ChordNetwork:
 
     def successor_of(self, point: int) -> int:
         """Return the first member at or clockwise after ``point`` (alive or not)."""
-        index = int(np.searchsorted(self._member_array, point % self.size))
+        index = int(np.searchsorted(self._member_labels, point % self.size))
         if index == len(self.members):
             index = 0
-        return int(self._member_array[index])
+        return int(self._member_labels[index])
 
     def build_routing_tables(self) -> None:
         """(Re)build every member's finger table and successor list."""
@@ -93,89 +98,31 @@ class ChordNetwork:
             self._successors[label] = successors
 
     # ------------------------------------------------------------------ #
-    # Membership and failures
+    # Membership and failures (liveness ops come from OverlayMixin)
     # ------------------------------------------------------------------ #
 
-    def labels(self, only_alive: bool = True) -> list[int]:
-        """Member identifiers, optionally restricted to live nodes."""
-        if only_alive:
-            return [label for label in self.members if self._alive[label]]
-        return list(self.members)
-
-    def is_alive(self, label: int) -> bool:
-        """Whether the member at ``label`` is alive."""
-        return self._alive.get(label, False)
-
-    def fail_node(self, label: int) -> None:
-        """Fail the member at ``label`` (finger tables are *not* rebuilt)."""
-        if label in self._alive:
-            self._alive[label] = False
-
-    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
-        """Fail a uniformly random fraction of the live members."""
-        protect = protect or set()
-        rng = spawn_rng(seed, "chord-failures")
-        candidates = [label for label in self.labels() if label not in protect]
-        count = min(len(candidates), int(round(fraction * len(candidates))))
-        victims = []
-        if count > 0:
-            chosen = rng.choice(len(candidates), size=count, replace=False)
-            victims = [candidates[int(i)] for i in chosen]
-        for victim in victims:
-            self.fail_node(victim)
-        return victims
-
-    def repair(self) -> None:
-        """Revive every member and rebuild the routing tables."""
-        for label in self._alive:
-            self._alive[label] = True
+    def _after_repair(self) -> None:
+        """Reviving everyone invalidates the tables; rebuild them."""
         self.build_routing_tables()
 
     def stabilize(self) -> None:
-        """Rebuild tables over the live membership (Chord's repair protocol outcome)."""
+        """Rebuild tables over the live membership (Chord's repair protocol outcome).
+
+        Failed members are excised entirely: the surviving ring has only the
+        live nodes as members, all alive, with fresh finger/successor tables.
+        """
         live = self.labels(only_alive=True)
         if len(live) < 2:
             return
-        saved_alive = dict(self._alive)
         self.members = live
-        self._member_array = np.array(self.members)
-        self._alive = {label: True for label in live}
+        self._init_members(live)
         self.build_routing_tables()
-        # Preserve the liveness of nodes that were failed but not excised.
-        for label, alive in saved_alive.items():
-            if label in self._alive:
-                self._alive[label] = alive
 
     # ------------------------------------------------------------------ #
-    # Routing
+    # Routing (the scalar loop comes from OverlayMixin.route)
     # ------------------------------------------------------------------ #
 
-    def route(self, source: int, target: int) -> RouteResult:
-        """Greedy clockwise routing from ``source`` to the member ``target``."""
-        if not self.is_alive(source):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_SOURCE)
-        if not self.is_alive(target):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_TARGET)
-        path = [source]
-        hops = 0
-        current = source
-        hop_limit = 4 * self.bits + 32
-        while hops < hop_limit:
-            if current == target:
-                return RouteResult(success=True, hops=hops, path=path)
-            next_hop = self._next_hop(current, target)
-            if next_hop is None:
-                return RouteResult(success=False, hops=hops, path=path,
-                                   failure_reason=FailureReason.STUCK)
-            current = next_hop
-            path.append(current)
-            hops += 1
-        return RouteResult(success=False, hops=hops, path=path,
-                           failure_reason=FailureReason.HOP_LIMIT)
-
-    def _next_hop(self, current: int, target: int) -> int | None:
+    def next_hop(self, current: int, target: int) -> int | None:
         """Farthest live finger that does not overshoot the target, else a successor."""
         remaining = self.space.clockwise_distance(current, target)
         best: int | None = None
@@ -196,6 +143,34 @@ class ChordNetwork:
             if 0 < advance <= remaining:
                 return successor
         return None
+
+    # ------------------------------------------------------------------ #
+    # Overlay protocol: neighbour iteration and snapshot compilation
+    # ------------------------------------------------------------------ #
+
+    def neighbors_of(self, label: int) -> list[int]:
+        """Distinct routing-table entries (fingers then successors, no self)."""
+        entries = dict.fromkeys(neighbor for neighbor, _ in self.neighbor_entries(label))
+        return list(entries)
+
+    def neighbor_entries(self, label: int) -> Iterator[tuple[int, int]]:
+        """Fingers at edge class 0, successors at class 1, self-entries dropped.
+
+        Entry order matches :meth:`next_hop`'s iteration order; the class
+        split lets :class:`~repro.overlay.policy.ChordGreedyPolicy` key the
+        two tiers so fingers always win and the successor fallback picks the
+        nearest admissible successor, exactly as the scalar rule does.
+        """
+        for finger in self._fingers[label]:
+            if finger != label:
+                yield finger, 0
+        for successor in self._successors[label]:
+            if successor != label:
+                yield successor, 1
+
+    def greedy_policy(self) -> ChordGreedyPolicy:
+        """The one-sided clockwise rule over this ring."""
+        return ChordGreedyPolicy(size=self.size)
 
     # ------------------------------------------------------------------ #
     # Statistics

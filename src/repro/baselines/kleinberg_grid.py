@@ -10,6 +10,10 @@ The paper (Section 2) describes its own construction as a generalisation of
 Kleinberg's; this baseline lets the experiments show the effect of dimension
 and of the exponent choice, including Kleinberg's result that exponents far
 from the dimension degrade greedy routing.
+
+As an :class:`~repro.overlay.Overlay`, the grid compiles into a snapshot
+executed by :class:`~repro.overlay.policy.TorusGreedyPolicy`, hop-for-hop
+identical to the scalar ``route()``.
 """
 
 from __future__ import annotations
@@ -19,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.metric import TorusMetric
-from repro.core.routing import FailureReason, RouteResult
+from repro.overlay.mixin import OverlayMixin
+from repro.overlay.policy import TorusGreedyPolicy
 from repro.util.rng import spawn_rng
 from repro.util.validation import ensure_positive
 
@@ -27,7 +32,7 @@ __all__ = ["KleinbergGridNetwork"]
 
 
 @dataclass
-class KleinbergGridNetwork:
+class KleinbergGridNetwork(OverlayMixin):
     """A two-dimensional Kleinberg small-world torus.
 
     Parameters
@@ -47,12 +52,16 @@ class KleinbergGridNetwork:
     exponent: float = 2.0
     seed: int = 0
 
+    failure_stream = "kleinberg-failures"
+    snapshot_kind = "torus"
+
     def __post_init__(self) -> None:
         ensure_positive(self.side, "side")
         ensure_positive(self.links_per_node, "links_per_node")
         self.space = TorusMetric(self.side, dimensions=2)
         self.size = self.side * self.side
-        self._alive = np.ones(self.size, dtype=bool)
+        self.hop_limit = 8 * self.side + 64
+        self._init_members(range(self.size))
         self._contacts: dict[int, list[int]] = {}
         self._build_contacts()
 
@@ -101,78 +110,13 @@ class KleinbergGridNetwork:
         return self.grid_neighbors(label) + self._contacts[label]
 
     # ------------------------------------------------------------------ #
-    # Membership and failures
+    # Routing — the mixin's default metric-greedy next_hop (live neighbour
+    # strictly closest under space.distance) is exactly Kleinberg's rule.
     # ------------------------------------------------------------------ #
 
-    def labels(self, only_alive: bool = True) -> list[int]:
-        """All node labels, optionally only the live ones."""
-        if only_alive:
-            return [int(i) for i in np.flatnonzero(self._alive)]
-        return list(range(self.size))
+    def _point_of(self, label: int) -> tuple[int, int]:
+        return self.label_to_point(label)
 
-    def is_alive(self, label: int) -> bool:
-        return bool(self._alive[label])
-
-    def fail_node(self, label: int) -> None:
-        self._alive[label] = False
-
-    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
-        """Fail a uniformly random fraction of the live nodes."""
-        protect = protect or set()
-        rng = spawn_rng(seed, "kleinberg-failures")
-        candidates = [label for label in self.labels() if label not in protect]
-        count = min(len(candidates), int(round(fraction * len(candidates))))
-        victims: list[int] = []
-        if count > 0:
-            chosen = rng.choice(len(candidates), size=count, replace=False)
-            victims = [candidates[int(i)] for i in chosen]
-        for victim in victims:
-            self.fail_node(victim)
-        return victims
-
-    def repair(self) -> None:
-        """Revive every node."""
-        self._alive[:] = True
-
-    # ------------------------------------------------------------------ #
-    # Routing
-    # ------------------------------------------------------------------ #
-
-    def route(self, source: int, target: int) -> RouteResult:
-        """Greedy L1 routing from ``source`` to ``target`` over live nodes."""
-        if not self.is_alive(source):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_SOURCE)
-        if not self.is_alive(target):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_TARGET)
-        target_point = self.label_to_point(target)
-        path = [source]
-        hops = 0
-        current = source
-        hop_limit = 8 * self.side + 64
-        while hops < hop_limit:
-            if current == target:
-                return RouteResult(success=True, hops=hops, path=path)
-            current_distance = self.space.distance(
-                self.label_to_point(current), target_point
-            )
-            best: int | None = None
-            best_distance = current_distance
-            for neighbor in self.neighbors_of(current):
-                if not self.is_alive(neighbor):
-                    continue
-                distance = self.space.distance(
-                    self.label_to_point(neighbor), target_point
-                )
-                if distance < best_distance:
-                    best = neighbor
-                    best_distance = distance
-            if best is None:
-                return RouteResult(success=False, hops=hops, path=path,
-                                   failure_reason=FailureReason.STUCK)
-            current = best
-            path.append(current)
-            hops += 1
-        return RouteResult(success=False, hops=hops, path=path,
-                           failure_reason=FailureReason.HOP_LIMIT)
+    def greedy_policy(self) -> TorusGreedyPolicy:
+        """Strictly decreasing L1 torus distance."""
+        return TorusGreedyPolicy(side=self.side, dimensions=2)

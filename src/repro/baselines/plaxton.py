@@ -11,23 +11,28 @@ state/hop trade-off as the paper's deterministic base-``b`` scheme
 This implementation assumes the fully populated identifier space (every
 identifier hosts a node), which keeps the routing-table construction exact;
 failures are injected afterwards, as in the paper's experiments.
+
+As an :class:`~repro.overlay.Overlay`, the scheme is greedy routing under
+the :class:`~repro.core.metric.PrefixMetric` ultrametric: the snapshot's
+:class:`~repro.overlay.policy.PrefixGreedyPolicy` admits exactly the one
+neighbour that extends the shared target prefix, so batched routes are
+hop-for-hop identical to the scalar digit-fixing walk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.routing import FailureReason, RouteResult
-from repro.util.rng import spawn_rng
+from repro.core.metric import PrefixMetric
+from repro.overlay.mixin import OverlayMixin
+from repro.overlay.policy import PrefixGreedyPolicy
 from repro.util.validation import ensure_positive
 
 __all__ = ["PlaxtonNetwork"]
 
 
 @dataclass
-class PlaxtonNetwork:
+class PlaxtonNetwork(OverlayMixin):
     """Suffix/prefix digit routing over a fully populated identifier space.
 
     Parameters
@@ -36,20 +41,24 @@ class PlaxtonNetwork:
         Number of identifier digits.
     base:
         Digit base (the identifier space has ``base ** digits`` nodes).
-    seed:
-        Kept for interface symmetry; construction is deterministic.
     """
 
     digits: int
     base: int = 4
-    seed: int = 0
+
+    failure_stream = "plaxton-failures"
+    snapshot_kind = "prefix"
 
     def __post_init__(self) -> None:
         ensure_positive(self.digits, "digits")
         if self.base < 2:
             raise ValueError(f"base must be >= 2, got {self.base}")
+        self.space = PrefixMetric(base=self.base, digits=self.digits)
         self.size = self.base**self.digits
-        self._alive = np.ones(self.size, dtype=bool)
+        # One hop fixes one digit, so digits moves always suffice; the +2
+        # headroom keeps the budget unreachable rather than binding.
+        self.hop_limit = self.digits + 2
+        self._init_members(range(self.size))
 
     # ------------------------------------------------------------------ #
     # Digit helpers
@@ -73,57 +82,14 @@ class PlaxtonNetwork:
 
     def shared_prefix_length(self, a: int, b: int) -> int:
         """Number of leading digits ``a`` and ``b`` share."""
-        digits_a = self.digits_of(a)
-        digits_b = self.digits_of(b)
-        shared = 0
-        for digit_a, digit_b in zip(digits_a, digits_b):
-            if digit_a != digit_b:
-                break
-            shared += 1
-        return shared
+        return self.space.shared_prefix_length(a, b)
 
     # ------------------------------------------------------------------ #
-    # Membership and failures
+    # Routing (liveness/failure ops and the route loop come from the mixin)
     # ------------------------------------------------------------------ #
 
-    def labels(self, only_alive: bool = True) -> list[int]:
-        if only_alive:
-            return [int(i) for i in np.flatnonzero(self._alive)]
-        return list(range(self.size))
-
-    def is_alive(self, label: int) -> bool:
-        return bool(self._alive[label])
-
-    def fail_node(self, label: int) -> None:
-        self._alive[label] = False
-
-    def fail_fraction(self, fraction: float, seed: int = 0, protect: set[int] | None = None) -> list[int]:
-        """Fail a uniformly random fraction of the live nodes."""
-        protect = protect or set()
-        rng = spawn_rng(seed, "plaxton-failures")
-        candidates = [label for label in self.labels() if label not in protect]
-        count = min(len(candidates), int(round(fraction * len(candidates))))
-        victims: list[int] = []
-        if count > 0:
-            chosen = rng.choice(len(candidates), size=count, replace=False)
-            victims = [candidates[int(i)] for i in chosen]
-        for victim in victims:
-            self.fail_node(victim)
-        return victims
-
-    def repair(self) -> None:
-        self._alive[:] = True
-
-    def state_per_node(self) -> int:
-        """Routing entries per node: ``(base - 1) * digits``."""
-        return (self.base - 1) * self.digits
-
-    # ------------------------------------------------------------------ #
-    # Routing
-    # ------------------------------------------------------------------ #
-
-    def route(self, source: int, target: int) -> RouteResult:
-        """Fix the target's digits one at a time, most significant first.
+    def next_hop(self, current: int, target: int) -> int | None:
+        """The node fixing the next unresolved target digit, if it is alive.
 
         At each step the current node forwards to the node whose identifier
         matches the target in one more leading digit and matches the current
@@ -131,32 +97,36 @@ class PlaxtonNetwork:
         would consult backup neighbours; the paper's comparison uses the
         unadorned algorithm).
         """
-        if not self.is_alive(source):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_SOURCE)
-        if not self.is_alive(target):
-            return RouteResult(success=False, hops=0, path=[source],
-                               failure_reason=FailureReason.DEAD_TARGET)
-        path = [source]
-        hops = 0
-        current = source
-        target_digits = self.digits_of(target)
-        while hops <= self.digits + 1:
-            if current == target:
-                return RouteResult(success=True, hops=hops, path=path)
-            shared = self.shared_prefix_length(current, target)
-            next_digits = self.digits_of(current)
-            next_digits[: shared + 1] = target_digits[: shared + 1]
-            next_hop = self.label_from_digits(next_digits)
-            if next_hop == current:
-                # The digit already matched; advance the prefix further.
-                next_digits = target_digits[: shared + 1] + self.digits_of(current)[shared + 1:]
-                next_hop = self.label_from_digits(next_digits)
-            if not self.is_alive(next_hop):
-                return RouteResult(success=False, hops=hops, path=path,
-                                   failure_reason=FailureReason.STUCK)
-            current = next_hop
-            path.append(current)
-            hops += 1
-        return RouteResult(success=False, hops=hops, path=path,
-                           failure_reason=FailureReason.HOP_LIMIT)
+        shared = self.shared_prefix_length(current, target)
+        next_digits = self.digits_of(current)
+        next_digits[: shared + 1] = self.digits_of(target)[: shared + 1]
+        following = self.label_from_digits(next_digits)
+        if following == current or not self.is_alive(following):
+            return None
+        return following
+
+    def neighbors_of(self, label: int) -> list[int]:
+        """Every single-digit mutation of ``label`` — the full routing table.
+
+        Ordered by (digit position, digit value), ``(base - 1) * digits``
+        entries; the policy admits at most one of them per target, so the
+        order never affects routing.
+        """
+        own = self.digits_of(label)
+        result = []
+        for position in range(self.digits):
+            for digit in range(self.base):
+                if digit == own[position]:
+                    continue
+                mutated = list(own)
+                mutated[position] = digit
+                result.append(self.label_from_digits(mutated))
+        return result
+
+    def greedy_policy(self) -> PrefixGreedyPolicy:
+        """Strictly extend the shared target prefix (the ultrametric rule)."""
+        return PrefixGreedyPolicy(base=self.base, digits=self.digits)
+
+    def state_per_node(self) -> int:
+        """Routing entries per node: ``(base - 1) * digits``."""
+        return (self.base - 1) * self.digits

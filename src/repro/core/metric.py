@@ -29,6 +29,7 @@ __all__ = [
     "LineMetric",
     "RingMetric",
     "TorusMetric",
+    "PrefixMetric",
 ]
 
 Point = int | tuple[int, ...]
@@ -258,3 +259,55 @@ class TorusMetric(MetricSpace):
                 f"point must have {self.dimensions} coordinates, got {len(point)}"
             )
         return tuple(int(c) % self.side for c in point)
+
+
+@dataclass(frozen=True)
+class PrefixMetric(MetricSpace):
+    """The digit-prefix ultrametric used by Plaxton / Tapestry-style routing.
+
+    Points are integers in ``[0, base ** digits)`` read as ``digits``
+    base-``base`` digit strings (most significant first); the distance between
+    two points is the number of trailing digit levels where they differ:
+    ``digits - shared_prefix_length``.  Fixing the target's digits one at a
+    time — the Plaxton forwarding rule — is exactly greedy routing under this
+    metric, which is how Section 3 of the paper folds prefix-routing schemes
+    into its metric-space framework.
+
+    Parameters
+    ----------
+    base:
+        Digit base (``>= 2``).
+    digits:
+        Number of identifier digits.
+    """
+
+    base: int
+    digits: int
+
+    def __post_init__(self) -> None:
+        if self.base < 2:
+            raise ValueError(f"base must be >= 2, got {self.base}")
+        ensure_positive(self.digits, "digits")
+
+    def shared_prefix_length(self, a: int, b: int) -> int:
+        """Number of leading base-``base`` digits ``a`` and ``b`` share."""
+        a, b = int(a), int(b)
+        shared = self.digits
+        while a != b:
+            a //= self.base
+            b //= self.base
+            shared -= 1
+        return shared
+
+    def distance(self, a: int, b: int) -> int:
+        """``digits - shared_prefix_length(a, b)`` (an ultrametric)."""
+        return self.digits - self.shared_prefix_length(a, b)
+
+    def size(self) -> int:
+        return self.base**self.digits
+
+    def contains(self, point: int) -> bool:
+        return isinstance(point, int) and 0 <= point < self.size()
+
+    def all_points(self) -> Iterable[int]:
+        return range(self.size())

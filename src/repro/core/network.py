@@ -182,6 +182,57 @@ class P2PNetwork:
         """Return the labels of all live member nodes."""
         return self.graph.labels(only_alive=True)
 
+    # -- Overlay protocol surface (see repro.overlay) ------------------------
+    # The facade conforms to the same structural interface as the baseline
+    # topologies, so harness code can treat all five interchangeably.  The
+    # liveness state lives in the overlay graph rather than a mixin array.
+
+    def labels(self, only_alive: bool = True) -> list[int]:
+        """Member labels in ascending order (the protocol's promise).
+
+        The underlying graph's own ``labels()`` keeps insertion order —
+        which :meth:`compile_fastpath` still relies on for re-route draw
+        parity — so the facade sorts a copy here.
+        """
+        return sorted(self.graph.labels(only_alive=only_alive))
+
+    def is_alive(self, label: int) -> bool:
+        """Whether ``label`` is a live member (``False`` for non-members)."""
+        return self.graph.has_node(label) and self.graph.is_alive(label)
+
+    def neighbors_of(self, label: int) -> list[int]:
+        """The neighbour labels the greedy router considers at ``label``."""
+        return self.graph.neighbors_of(label)
+
+    def fail_node(self, label: int) -> None:
+        """Crash the member at ``label`` (no-op for non-members and the dead)."""
+        if self.graph.has_node(label) and self.graph.is_alive(label):
+            self.crash(label)
+
+    def fail_fraction(
+        self, fraction: float, seed: int = 0, protect: set[int] | None = None
+    ) -> list[int]:
+        """Crash a uniformly random fraction of the live members."""
+        from repro.overlay.mixin import apply_fail_fraction
+
+        return apply_fail_fraction(self, fraction, seed, protect, "network-failures")
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Route between two member nodes using the configured strategy."""
+        return self._route(source, target)
+
+    def compile_snapshot(self):
+        """Compile the current overlay into an immutable array snapshot.
+
+        The snapshot pairs with :class:`~repro.fastpath.BatchGreedyRouter`
+        (or :meth:`compile_fastpath`, which also wires this network's routing
+        configuration in); batched routes over it are hop-for-hop identical
+        to the scalar :meth:`route`.
+        """
+        from repro.fastpath import compile_snapshot
+
+        return compile_snapshot(self.graph)
+
     def join(self, address: int) -> None:
         """Add a node at ``address`` to the network.
 

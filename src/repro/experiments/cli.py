@@ -47,6 +47,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.runner import ExperimentTable, tables_to_csv
 from repro.experiments.table1 import run_table1
+from repro.overlay import PROTOCOLS
 
 __all__ = ["build_parser", "main"]
 
@@ -215,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
     baselines = subparsers.add_parser("baselines", help="Chord / Kleinberg / CAN / Plaxton comparison")
     baselines.add_argument("--bits", type=int, default=10)
     baselines.add_argument("--searches", type=int, default=200)
+    baselines.add_argument(
+        "--protocol",
+        choices=("all",) + PROTOCOLS,
+        default="all",
+        help="restrict the comparison to one overlay protocol family",
+    )
+    add_engine_option(baselines)
     add_format_option(baselines)
 
     subparsers.add_parser("all", help="run every experiment at its default scale")
@@ -450,7 +458,15 @@ def _run_ablations(args) -> None:
 
 def _run_baselines(args) -> None:
     _emit_tables(
-        [run_baseline_comparison(bits=args.bits, searches=args.searches, seed=args.seed)],
+        [
+            run_baseline_comparison(
+                bits=args.bits,
+                searches=args.searches,
+                seed=args.seed,
+                engine=getattr(args, "engine", "object"),
+                protocol="" if getattr(args, "protocol", "all") == "all" else args.protocol,
+            )
+        ],
         args.format,
     )
 

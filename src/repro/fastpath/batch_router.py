@@ -289,6 +289,25 @@ class BatchGreedyRouter:
     seed: int = 0
     reroute_pool: object = None
     _pool_cache: tuple | None = field(default=None, repr=False, compare=False)
+    _usable_cache: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def policy(self):
+        """The greedy next-hop rule the router executes (from the snapshot)."""
+        return self.snapshot.greedy_policy()
+
+    def _usable_matrix(self, matrices) -> np.ndarray:
+        """Validity with dead neighbours masked out, cached per router.
+
+        The snapshot's ``alive`` mask is immutable, so in the lenient
+        knowledge regime (dead candidates skipped) liveness can be folded
+        into the padding mask once instead of being re-gathered every hop.
+        """
+        if self._usable_cache is None:
+            dense, valid, _ = matrices
+            alive = self.snapshot.alive
+            self._usable_cache = valid & alive[np.where(valid, dense, 0)]
+        return self._usable_cache
 
     def __post_init__(self) -> None:
         if self.backtrack_depth < 1:
@@ -532,8 +551,7 @@ class BatchGreedyRouter:
         scalar router move for move.
         """
         snapshot = self.snapshot
-        dense, valid_matrix, label_matrix = snapshot.routing_matrices()
-        compact_labels = snapshot.labels_compact()
+        matrices = snapshot.routing_matrices()
         alive = snapshot.alive
         labels = snapshot.labels
         depth = self.backtrack_depth
@@ -559,8 +577,7 @@ class BatchGreedyRouter:
                     break
 
             chosen, new_consumed, consumed_nodes, stuck = self._backtrack_select(
-                dense, valid_matrix, label_matrix, compact_labels, alive,
-                active, current, target_index, tried,
+                matrices, alive, active, current, target_index, tried
             )
             tried.store(active, consumed_nodes, new_consumed)
 
@@ -614,10 +631,7 @@ class BatchGreedyRouter:
 
     def _backtrack_select(
         self,
-        dense,
-        valid_matrix,
-        label_matrix,
-        compact_labels,
+        matrices,
         alive,
         active,
         current,
@@ -630,26 +644,10 @@ class BatchGreedyRouter:
         per query (undefined where stuck), the updated consumed-prefix length
         for the query's current vertex, that vertex, and the stuck mask.
         """
-        snapshot = self.snapshot
         cur = current[active]
-        tgt = target_index[active]
-        neighbors = dense[cur]
-        valid = valid_matrix[cur]
-        neighbor_labels = label_matrix[cur]
-        current_labels = compact_labels[cur]
-        target_labels = compact_labels[tgt]
-
-        current_distance = snapshot.distance(current_labels, target_labels)
-        neighbor_distance = snapshot.distance(neighbor_labels, target_labels[:, None])
-        candidates = valid & (neighbor_distance < current_distance[:, None])
-        if self.mode is RoutingMode.ONE_SIDED:
-            before = snapshot.displacement(current_labels, target_labels)
-            after = snapshot.displacement(neighbor_labels, target_labels[:, None])
-            overshoot = ((before[:, None] > 0) != (after > 0)) & (after != 0)
-            candidates &= ~overshoot
-
-        blocked = neighbor_distance.dtype.type(snapshot.space_size + 1)
-        keyed = np.where(candidates, neighbor_distance, blocked)
+        neighbors, valid, keyed, blocked = self._candidate_keys(
+            matrices, cur, target_index[active]
+        )
         row = np.arange(active.size)
 
         # Fast path — by far the most common case: the query is visiting this
@@ -751,6 +749,47 @@ class BatchGreedyRouter:
     # One vectorized greedy step
     # ------------------------------------------------------------------ #
 
+    def _candidate_keys(
+        self,
+        matrices: tuple[np.ndarray, np.ndarray, np.ndarray],
+        current: np.ndarray,
+        target: np.ndarray,
+        valid_matrix: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Gather neighbour rows and ask the snapshot's policy to key them.
+
+        Returns ``(neighbors, valid, keyed, blocked)``: the dense neighbour
+        rows of the queried vertices, the non-padding mask, the policy's key
+        matrix (``>= blocked`` marks inadmissible candidates), and the
+        blocked sentinel in the key dtype.  Liveness is *not* applied here
+        unless the caller folds it into ``valid_matrix`` — the
+        knowledge-regime handling stays with the caller.
+        """
+        snapshot = self.snapshot
+        dense, padding_valid, label_matrix = matrices
+        if valid_matrix is None:
+            valid_matrix = padding_valid
+        compact_labels = snapshot.labels_compact()
+
+        neighbors = dense[current]  # (k, max_degree) vertex indices, -1 pad
+        valid = valid_matrix[current]
+        neighbor_labels = label_matrix[current]
+        current_labels = compact_labels[current]
+        target_labels = compact_labels[target]
+
+        policy = self.policy
+        class_matrix = snapshot.class_matrix()
+        keyed = policy.candidate_keys(
+            current_labels,
+            neighbor_labels,
+            valid,
+            target_labels,
+            self.mode,
+            edge_class=class_matrix[current] if class_matrix is not None else None,
+        )
+        blocked = keyed.dtype.type(policy.blocked)
+        return neighbors, valid, keyed, blocked
+
     def _step(
         self,
         matrices: tuple[np.ndarray, np.ndarray, np.ndarray],
@@ -763,38 +802,19 @@ class BatchGreedyRouter:
         Returns ``(chosen, stuck)``: the next-hop vertex index per query
         (undefined where stuck) and the boolean stuck mask.
         """
-        snapshot = self.snapshot
-        dense, valid_matrix, label_matrix = matrices
-        compact_labels = snapshot.labels_compact()
-        alive = snapshot.alive
-
-        neighbors = dense[current]  # (k, max_degree) vertex indices, -1 pad
-        valid = valid_matrix[current]
-        neighbor_labels = label_matrix[current]
-        current_labels = compact_labels[current]
-        target_labels = compact_labels[target]
-
-        current_distance = snapshot.distance(current_labels, target_labels)
-        neighbor_distance = snapshot.distance(
-            neighbor_labels, target_labels[:, None]
-        )
-        candidates = valid & (neighbor_distance < current_distance[:, None])
-
-        if self.mode is RoutingMode.ONE_SIDED:
-            # Never traverse a link that jumps past the target: the signed
-            # displacement towards the target must not change sign.
-            before = snapshot.displacement(current_labels, target_labels)
-            after = snapshot.displacement(neighbor_labels, target_labels[:, None])
-            overshoot = ((before[:, None] > 0) != (after > 0)) & (after != 0)
-            candidates &= ~overshoot
-
+        alive = self.snapshot.alive
+        # Lenient regime: dead candidates are skipped, which is equivalent to
+        # never having them in the row — fold the (immutable) liveness mask
+        # into validity once per router instead of re-gathering it per hop.
+        usable = None
         if not self.strict_best_neighbor and not all_alive:
-            candidates &= alive[np.where(valid, neighbors, 0)]
+            usable = self._usable_matrix(matrices)
+        neighbors, _valid, keyed, blocked = self._candidate_keys(
+            matrices, current, target, valid_matrix=usable
+        )
 
         # First minimum along the row == the scalar router's stable
         # sort-by-distance with earliest-neighbour tie-break.
-        blocked = neighbor_distance.dtype.type(snapshot.space_size + 1)
-        keyed = np.where(candidates, neighbor_distance, blocked)
         pick = np.argmin(keyed, axis=1)
         row = np.arange(current.shape[0])
         has_candidate = keyed[row, pick] < blocked

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.graph import OverlayGraph
 from repro.core.metric import LineMetric, RingMetric
+from repro.overlay.policy import GreedyPolicy, MetricGreedyPolicy
 
 __all__ = ["FastpathSnapshot", "compile_snapshot"]
 
@@ -60,6 +61,16 @@ class FastpathSnapshot:
     symmetric_neighbors:
         Whether incoming long links were folded into the adjacency (the
         scalar router's ``symmetric_neighbors`` flag at compile time).
+    policy:
+        Optional :class:`~repro.overlay.policy.GreedyPolicy` giving this
+        snapshot its next-hop rule.  ``None`` (graph-compiled ring/line
+        snapshots) means the default strictly-decreasing metric rule; the
+        baseline overlays attach their protocol's policy, which is how one
+        batch router serves every topology.
+    edge_class:
+        Optional ``int8[total_degree]`` per-edge class codes aligned with
+        ``neighbor_indices`` for protocols whose tables are tiered (Chord's
+        fingers vs successors); ``None`` when all edges are equal.
     """
 
     kind: str
@@ -69,6 +80,8 @@ class FastpathSnapshot:
     neighbor_indptr: np.ndarray
     neighbor_indices: np.ndarray
     symmetric_neighbors: bool = True
+    policy: GreedyPolicy | None = None
+    edge_class: np.ndarray | None = None
     # Dense (num_nodes, max_degree) padded adjacency, built lazily from the
     # CSR arrays because the batch router gathers whole rows per hop.
     _dense_cache: dict = field(default_factory=dict, repr=False, compare=False)
@@ -99,6 +112,15 @@ class FastpathSnapshot:
             If any queried label is not a vertex of the snapshot.
         """
         queried = np.asarray(labels, dtype=np.int64)
+        if self._labels_contiguous():
+            # Sorted distinct labels spanning 0..n-1 are the identity map.
+            mismatch = (queried < 0) | (queried >= self.num_nodes)
+            if np.any(mismatch):
+                missing = queried[mismatch].ravel()
+                raise KeyError(
+                    f"labels {missing[:5].tolist()} are not vertices of this snapshot"
+                )
+            return queried.copy()
         positions = np.searchsorted(self.labels, queried)
         positions = np.clip(positions, 0, self.num_nodes - 1)
         mismatch = self.labels[positions] != queried
@@ -108,6 +130,18 @@ class FastpathSnapshot:
                 f"labels {missing[:5].tolist()} are not vertices of this snapshot"
             )
         return positions.astype(np.int64)
+
+    def _labels_contiguous(self) -> bool:
+        """Whether the (sorted, distinct) labels are exactly ``0..n-1``."""
+        cached = self._dense_cache.get("contiguous")
+        if cached is None:
+            cached = bool(
+                self.num_nodes
+                and int(self.labels[0]) == 0
+                and int(self.labels[-1]) == self.num_nodes - 1
+            )
+            self._dense_cache["contiguous"] = cached
+        return cached
 
     def neighbors_of_index(self, index: int) -> np.ndarray:
         """Return the neighbour indices of the vertex at ``index`` (CSR slice)."""
@@ -157,6 +191,43 @@ class FastpathSnapshot:
         self._dense_cache["matrices"] = matrices
         return matrices
 
+    def greedy_policy(self) -> GreedyPolicy:
+        """The next-hop rule this snapshot routes under.
+
+        Protocol snapshots carry their policy explicitly; graph-compiled
+        ring/line snapshots fall back to the default metric rule (cached —
+        it is what the batch router historically inlined).
+        """
+        if self.policy is not None:
+            return self.policy
+        cached = self._dense_cache.get("default_policy")
+        if cached is None:
+            cached = MetricGreedyPolicy(kind=self.kind, space_size=self.space_size)
+            self._dense_cache["default_policy"] = cached
+        return cached
+
+    def class_matrix(self) -> np.ndarray | None:
+        """Padded ``int8[num_nodes, max_degree]`` edge classes, or ``None``.
+
+        The dense counterpart of ``edge_class``, aligned slot-for-slot with
+        :meth:`dense_neighbors` (0 in padding slots); cached like the other
+        routing matrices and shared between liveness variants.
+        """
+        if self.edge_class is None:
+            return None
+        cached = self._dense_cache.get("class_matrix")
+        if cached is None:
+            degrees = self.degrees()
+            max_degree = max(int(degrees.max()) if degrees.size else 0, 1)
+            cached = np.zeros((self.num_nodes, max_degree), dtype=np.int8)
+            rows = np.repeat(np.arange(self.num_nodes), degrees)
+            offsets = np.arange(self.neighbor_indices.shape[0]) - np.repeat(
+                self.neighbor_indptr[:-1], degrees
+            )
+            cached[rows, offsets] = self.edge_class
+            self._dense_cache["class_matrix"] = cached
+        return cached
+
     def labels_compact(self) -> np.ndarray:
         """The label array in the narrowest integer dtype that fits the space.
 
@@ -191,6 +262,8 @@ class FastpathSnapshot:
             neighbor_indptr=self.neighbor_indptr,
             neighbor_indices=self.neighbor_indices,
             symmetric_neighbors=self.symmetric_neighbors,
+            policy=self.policy,
+            edge_class=self.edge_class,
             _dense_cache=self._dense_cache,
         )
 
@@ -201,9 +274,12 @@ class FastpathSnapshot:
     def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized metric distance between label arrays ``a`` and ``b``.
 
-        Labels are grid points in ``[0, space_size)``, so the ring arithmetic
+        Protocol snapshots delegate to their policy's metric; ring/line
+        labels are grid points in ``[0, space_size)``, so the ring arithmetic
         skips the general modulo reduction (``|a - b| < space_size`` already).
         """
+        if self.policy is not None:
+            return self.policy.distance(a, b)
         diff = np.abs(a - b)
         if self.kind == "ring":
             return np.minimum(diff, self.space_size - diff)

@@ -1,0 +1,57 @@
+"""repro.overlay — the protocol-agnostic overlay interface layer.
+
+The paper's Section-3 framework treats Chord, CAN, Plaxton-style prefix
+routing, and Kleinberg's small-world grid as instances of one idea: greedy
+routing over a metric space.  This package states that idea as code:
+
+* :class:`Overlay` — the structural protocol every routable topology
+  implements (labels, neighbour iteration, metric, failure/repair ops, and
+  ``compile_snapshot() -> OverlaySnapshot``);
+* :class:`OverlayMixin` — the shared implementation half: liveness
+  bookkeeping, seeded failure injection, the scalar greedy loop, and the
+  CSR snapshot compiler;
+* :mod:`repro.overlay.policy` — per-protocol next-hop rules
+  (:class:`GreedyPolicy`) as data the batched
+  :class:`~repro.fastpath.BatchGreedyRouter` executes, hop-for-hop identical
+  to each protocol's scalar ``route()``.
+
+``OverlaySnapshot`` is the compiled-array form shared by every overlay — one
+snapshot type (:class:`~repro.fastpath.snapshot.FastpathSnapshot`) whatever
+the topology, so the experiment harness, benchmarks, and sweeps stay
+engine- and protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.overlay.mixin import OverlayMixin
+from repro.overlay.policy import (
+    ChordGreedyPolicy,
+    GreedyPolicy,
+    MetricGreedyPolicy,
+    PrefixGreedyPolicy,
+    TorusGreedyPolicy,
+)
+from repro.overlay.protocol import PROTOCOLS, Overlay
+
+
+def __getattr__(name: str):
+    # OverlaySnapshot is FastpathSnapshot under its protocol-layer name;
+    # resolved lazily because repro.fastpath imports repro.overlay.policy.
+    if name == "OverlaySnapshot":
+        from repro.fastpath.snapshot import FastpathSnapshot
+
+        return FastpathSnapshot
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Overlay",
+    "OverlayMixin",
+    "OverlaySnapshot",
+    "PROTOCOLS",
+    "GreedyPolicy",
+    "MetricGreedyPolicy",
+    "TorusGreedyPolicy",
+    "PrefixGreedyPolicy",
+    "ChordGreedyPolicy",
+]

@@ -504,37 +504,52 @@ def baselines_spec(
     searches: int = 200,
     failure_level: float = 0.3,
     seed: int = 0,
+    engine: str = "object",
+    protocol: str = "",
 ) -> ScenarioSpec:
     """Spec for the ``"baselines"`` scenario.
 
     The network size is ``topology.nodes`` (the single source of truth); the
     execute hook converts it back to the bit width the comparison uses, so
     ``--set topology.nodes=...`` sweeps all systems at matched size.
+    ``topology.protocol`` restricts the comparison to one overlay family
+    (``""`` = all five), which is the sweep axis for protocol grids:
+    ``repro sweep baselines --grid topology.protocol=chord,can --grid
+    failures.levels=0.1,0.3 --set engine=fastpath``.
     """
     return ScenarioSpec(
         scenario="baselines",
-        topology=TopologySpec(kind="ideal", nodes=1 << bits),
+        topology=TopologySpec(kind="ideal", nodes=1 << bits, protocol=protocol),
         failures=FailureSpec(kind="nodes", levels=(failure_level,)),
         workload=WorkloadSpec(searches=searches),
+        engine=engine,
         seed=seed,
     )
 
 
 @register_scenario(
     "baselines",
-    description="hop counts and failure resilience of Chord / Kleinberg / CAN / Plaxton vs this paper's overlay",
+    description="hop counts and failure resilience of Chord / Kleinberg / CAN / Plaxton vs this paper's overlay (both engines, protocol-grid ready)",
     defaults=baselines_spec(),
 )
 def _baselines(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Object-engine scenario (every baseline routes its own object graph)."""
+    """Every system implements the Overlay protocol, so both engines apply:
+    ``engine="fastpath"`` batch-routes each topology's compiled snapshot with
+    numbers identical to the scalar walk."""
     import math
 
     from repro.experiments.baseline_comparison import _run_baseline_comparison_impl
 
-    table = _run_baseline_comparison_impl(
+    table, engines_used = _run_baseline_comparison_impl(
         bits=max(1, round(math.log2(spec.topology.nodes))),
         searches=spec.workload.searches,
         failure_level=spec.failures.levels[0] if spec.failures.levels else 0.3,
         seed=spec.seed,
+        engine=spec.engine,
+        protocol=spec.topology.protocol,
     )
-    return ScenarioOutcome(tables=[table], raw=table, engine_used="object")
+    return ScenarioOutcome(
+        tables=[table],
+        raw=table,
+        engine_used="+".join(sorted(engines_used)) if engines_used else spec.engine,
+    )

@@ -27,6 +27,7 @@ from typing import Any, Mapping
 from repro.core.failures import ByzantineBehavior
 from repro.core.routing import RecoveryStrategy, RoutingMode
 from repro.fastpath import ENGINES
+from repro.overlay import PROTOCOLS
 
 __all__ = [
     "SpecError",
@@ -69,6 +70,11 @@ class TopologySpec:
     the Section-5 incremental construction, ``"deterministic"`` builds the
     base-``base`` scheme (``variant`` as in
     :class:`~repro.core.builder.DeterministicGraphBuilder`).
+
+    ``protocol`` selects an overlay protocol family for scenarios that can
+    compare several (the ``baselines`` comparison): one of
+    :data:`repro.overlay.PROTOCOLS`, or ``""`` (the default) for the
+    scenario's own choice — every protocol at once for ``baselines``.
     """
 
     kind: str = "ideal"
@@ -77,6 +83,7 @@ class TopologySpec:
     exponent: float = 1.0
     base: int = 2
     variant: str = "full"
+    protocol: str = ""
 
     def validate(self) -> None:
         _require(self.kind in TOPOLOGY_KINDS, f"topology.kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}")
@@ -87,6 +94,10 @@ class TopologySpec:
         )
         _require(self.exponent >= 0.0, f"topology.exponent must be >= 0, got {self.exponent!r}")
         _require(isinstance(self.base, int) and self.base >= 2, f"topology.base must be an integer >= 2, got {self.base!r}")
+        _require(
+            self.protocol in ("",) + PROTOCOLS,
+            f"topology.protocol must be '' or one of {PROTOCOLS}, got {self.protocol!r}",
+        )
 
 
 @dataclass(frozen=True)
