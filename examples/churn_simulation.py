@@ -1,114 +1,83 @@
 #!/usr/bin/env python3
-"""Churn simulation on the discrete-event substrate.
+"""Churn study through the declarative scenario API.
 
 Peer-to-peer deployments see continuous arrival and departure of nodes.  This
-example combines several parts of the library that the other examples do not
-touch:
+example drives the registered ``churn`` and ``maintenance-cost`` scenarios —
+the same entry points ``repro run`` / ``repro sweep`` use — to show the
+system absorbing churn:
 
-* the **discrete-event simulator** (messages with latency, concurrent
-  searches) rather than the synchronous hop-count router;
-* a **churn workload** generating Poisson joins, graceful leaves, and crashes;
-* the **maintenance daemon** repairing the overlay as nodes disappear;
-* a continuous background of lookups whose success rate and latency are
-  tracked over time windows, showing the system absorbing churn.
+* a **churn run**: Poisson joins, graceful leaves, and crashes scheduled by
+  the simulation package's :class:`~repro.simulation.workload.ChurnWorkload`,
+  a batched :class:`~repro.core.maintenance.MaintenanceDaemon` repair pass
+  per round, and a continuous background of lookups whose success rate, hop
+  count, and (log-normal) latency are tracked round by round;
+* the same run on the **fastpath engine**, where the batch router follows
+  the mutating overlay through incremental snapshot deltas
+  (:mod:`repro.fastpath.delta`) instead of recompiling — the numbers are
+  identical, which this example asserts;
+* a **maintenance-cost sweep** over churn rates, reproducing the paper's
+  Section-2 claim that repair traffic stays proportional to the damage.
 
 Run with::
 
     python examples/churn_simulation.py
+
+Equivalent CLI invocations::
+
+    repro run churn --set topology.nodes=2048 --set workload.searches=150
+    repro sweep churn --grid failures.levels=0.02,0.05,0.1 --jobs 3
 """
 
 from __future__ import annotations
 
-from repro.core.construction import HeuristicConstruction
-from repro.core.maintenance import MaintenanceDaemon
-from repro.core.metric import RingMetric
-from repro.core.routing import RecoveryStrategy
-from repro.simulation.engine import Simulator
-from repro.simulation.latency import LogNormalLatency
-from repro.simulation.metrics import summarize_searches
-from repro.simulation.protocol import ProtocolConfig, RoutingProtocol
-from repro.simulation.workload import ChurnWorkload, LookupWorkload
-from repro.util.rng import spawn_rng
+from repro.scenarios import get_scenario, run
 
 
 def main() -> None:
-    space_size = 1 << 11
-    construction = HeuristicConstruction(
-        space=RingMetric(space_size), links_per_node=11, seed=5
+    overrides = {
+        "topology.nodes": 2048,
+        "workload.searches": 150,
+        "extras.rounds": 8,
+        "failures.levels": (0.05,),
+    }
+
+    print("=" * 72)
+    print("Churn scenario: 1024 initial nodes, 5% churn per round, 8 rounds")
+    print("=" * 72)
+    spec = get_scenario("churn").make_spec(overrides=overrides, seed=5)
+    result = run(spec)
+    print(result.to_text())
+
+    print()
+    print("Same run, fastpath engine (incremental snapshot deltas)...")
+    fastpath = run(spec.with_overrides({"engine": "fastpath"}))
+    assert fastpath.engine_used == "fastpath", fastpath.engine_used
+    identical = [t.to_json_dict() for t in result.tables] == [
+        t.to_json_dict() for t in fastpath.tables
+    ]
+    assert identical, "engines disagree on the churn run"
+    print(
+        f"engine check: object {result.seconds:.2f}s vs "
+        f"fastpath {fastpath.seconds:.2f}s, identical tables "
+        f"(the delta-driven batch router reproduces the object walk exactly)"
     )
-    daemon = MaintenanceDaemon(construction)
 
-    initial_members = list(range(0, space_size, 8))  # 256 nodes
-    construction.add_points(initial_members)
-    print(f"bootstrap: {len(construction.graph)} nodes")
-
-    simulator = Simulator()
-    protocol = RoutingProtocol(
-        construction.graph,
-        simulator,
-        latency=LogNormalLatency(median=1.0, sigma=0.4, seed=6),
-        config=ProtocolConfig(recovery=RecoveryStrategy.BACKTRACK),
-        seed=7,
+    print()
+    print("=" * 72)
+    print("Maintenance cost vs churn rate (repair traffic per event)")
+    print("=" * 72)
+    cost_spec = get_scenario("maintenance-cost").make_spec(
+        overrides={
+            "topology.nodes": 2048,
+            "workload.searches": 100,
+            "failures.levels": (0.01, 0.02, 0.05, 0.1),
+        },
+        seed=5,
     )
-
-    # --- Schedule churn over 200 time units. --------------------------------
-    churn = ChurnWorkload(
-        space_size=space_size, join_rate=0.5, leave_rate=0.4, crash_fraction=0.5, seed=8
-    )
-    churn_events = churn.schedule(duration=200.0, initial_members=initial_members)
-    print(f"churn schedule: {len(churn_events)} events over 200 time units")
-
-    def apply_churn(event):
-        graph = construction.graph
-        if event.action == "join" and not graph.has_node(event.address):
-            construction.add_point(event.address)
-        elif event.action == "leave" and graph.has_node(event.address):
-            daemon.handle_departure(event.address)
-        elif event.action == "crash" and graph.has_node(event.address):
-            graph.fail_node(event.address)
-
-    for event in churn_events:
-        simulator.schedule_at(event.time, lambda e=event: apply_churn(e))
-
-    # Periodic repair every 20 time units.
-    for t in range(20, 201, 20):
-        simulator.schedule_at(float(t), daemon.repair_all)
-
-    # --- Background lookups: 4 per time unit. --------------------------------
-    workload = LookupWorkload(seed=9)
-    rng = spawn_rng(9, "origins")
-
-    def launch_lookup():
-        live = construction.graph.labels(only_alive=True)
-        if len(live) >= 2:
-            source, target = workload.pairs(live, 1)[0]
-            protocol.start_search(source, target)
-
-    lookup_times = [0.25 * i for i in range(1, 800)]
-    for t in lookup_times:
-        simulator.schedule_at(t, launch_lookup)
-
-    simulator.run(until=205.0, max_events=2_000_000)
-
-    # --- Report per-window statistics. ---------------------------------------
-    print(f"\nsimulated {simulator.events_processed} events, "
-          f"{len(protocol.metrics.searches)} lookups completed")
-    window = 50.0
-    print(f"{'window':>12}  {'lookups':>8}  {'failed':>7}  {'mean hops':>9}  {'mean latency':>12}")
-    for start in range(0, 200, int(window)):
-        records = [
-            record for record in protocol.metrics.searches
-            if start <= record.started_at < start + window
-        ]
-        summary = summarize_searches(records)
-        print(f"{start:>5}-{start + int(window):<6}  {summary['searches']:>8}  "
-              f"{summary['failed_fraction']:>6.1%}  "
-              f"{summary['mean_hops_successful']:>9.2f}  "
-              f"{summary['mean_latency_successful']:>12.2f}")
-
-    final_members = len(construction.graph.labels(only_alive=True))
-    print(f"\nfinal membership: {final_members} live nodes")
-    print("the overlay keeps serving lookups while members join, leave, and crash.")
+    print(run(cost_spec).to_text())
+    print()
+    print("the overlay keeps serving lookups while members join, leave, and crash;")
+    print("repair messages stay proportional to the churn that caused them.")
 
 
 if __name__ == "__main__":

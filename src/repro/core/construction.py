@@ -241,12 +241,15 @@ class HeuristicConstruction:
         """
         if not self.graph.has_node(label):
             return []
-        affected = [
-            node.label
-            for node in self.graph.nodes()
-            if node.label != label
-            and any(link.target == label for link in node.long_links)
-        ]
+        # The reverse link index gives the holders directly (O(in-degree)
+        # instead of scanning every long link of every node); iterating the
+        # node table preserves the exact order the old full scan produced,
+        # which downstream regeneration RNG draws depend on.
+        holders = set(
+            self.graph.incoming_sources(label, only_alive_links=False)
+        )
+        holders.discard(label)
+        affected = [node_label for node_label in self.graph.labels() if node_label in holders]
         departing = self.graph.node(label)
         left, right = departing.left, departing.right
         self.graph.remove_node(label)
@@ -426,21 +429,31 @@ class HeuristicConstruction:
         Used by link regeneration after failures, so dead (but not yet excised)
         points must not be chosen as replacement targets.
         """
-        others = [
-            label
-            for label in self._sorted_labels
-            if label != source and self.graph.is_alive(label)
-        ]
-        if not others:
+        is_alive = self.graph.is_alive
+        others = np.fromiter(
+            (
+                label
+                for label in self._sorted_labels
+                if label != source and is_alive(label)
+            ),
+            dtype=np.int64,
+        )
+        if others.size == 0:
             return None
         rng = self._random.stream("regenerate")
-        distances = np.array(
-            [max(1, self.space.distance(source, other)) for other in others], dtype=float
-        )
+        # Vectorized metric distance (the repair path samples thousands of
+        # replacement links per churn round; a per-candidate space.distance
+        # call here dominated whole repair passes).
+        diff = np.abs(others - source)
+        if isinstance(self.space, RingMetric):
+            distances = np.minimum(diff, self.space.size() - diff).astype(float)
+        else:
+            distances = diff.astype(float)
+        distances = np.maximum(distances, 1.0)
         weights = distances**-self.exponent
         probabilities = weights / weights.sum()
-        index = int(rng.choice(len(others), p=probabilities))
-        return others[index]
+        index = int(rng.choice(others.size, p=probabilities))
+        return int(others[index])
 
 
 def build_heuristic_network(

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.core.metric import MetricSpace, RingMetric
+from repro.core.metric import LineMetric, MetricSpace
 
 __all__ = ["LongLink", "OverlayNode", "OverlayGraph"]
 
@@ -131,6 +131,32 @@ class OverlayGraph:
         # Maintained by the link-mutation methods so that routing can use
         # incoming links as symmetric neighbour knowledge.
         self._incoming: dict[int, list[tuple[int, LongLink]]] = {}
+        # Optional mutation observer (a repro.fastpath.delta.DeltaRecorder):
+        # every mutator notifies it, so incremental snapshot mirrors can
+        # replay churn without recompiling.  None costs one attribute check.
+        self._observer = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation observation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observer(self):
+        """The attached mutation observer, or ``None``."""
+        return self._observer
+
+    def set_observer(self, observer) -> None:
+        """Attach (or with ``None`` detach) the single mutation observer.
+
+        Raises
+        ------
+        ValueError
+            When an observer is already attached (mutations must not be
+            double-recorded; detach the old one first).
+        """
+        if observer is not None and self._observer is not None:
+            raise ValueError("graph already has a mutation observer attached")
+        self._observer = observer
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -142,12 +168,19 @@ class OverlayGraph:
             raise ValueError(f"label {label!r} is not a point of the metric space")
         if label not in self._nodes:
             self._nodes[label] = OverlayNode(label=label)
+            if self._observer is not None:
+                self._observer.on_add_node(label)
         return self._nodes[label]
 
     def remove_node(self, label: int) -> None:
         """Remove a vertex and all links *to* it from other vertices."""
         if label not in self._nodes:
             return
+        if self._observer is not None:
+            # Recorded before the mutation: the observer's replay uses its
+            # own mirrored state, which at this point in the op sequence
+            # still includes the departing vertex.
+            self._observer.on_remove_node(label)
         departing = self._nodes.pop(label)
         # Drop the departing node's own outgoing links from the reverse index.
         for link in departing.long_links:
@@ -216,10 +249,14 @@ class OverlayGraph:
     def fail_node(self, label: int) -> None:
         """Mark the vertex at ``label`` as failed (links to it remain in place)."""
         self._nodes[label].alive = False
+        if self._observer is not None:
+            self._observer.on_fail_node(label)
 
     def revive_node(self, label: int) -> None:
         """Mark the vertex at ``label`` as alive again."""
         self._nodes[label].alive = True
+        if self._observer is not None:
+            self._observer.on_revive_node(label)
 
     def alive_count(self) -> int:
         """Number of live vertices."""
@@ -234,6 +271,8 @@ class OverlayGraph:
         node = self._nodes[label]
         node.left = left
         node.right = right
+        if self._observer is not None:
+            self._observer.on_set_immediate_neighbors(label, left, right)
 
     def add_long_link(self, source: int, target: int) -> LongLink:
         """Add a long link from ``source`` to ``target`` and return it.
@@ -248,6 +287,8 @@ class OverlayGraph:
         self._creation_counter += 1
         node.long_links.append(link)
         self._incoming.setdefault(target, []).append((source, link))
+        if self._observer is not None:
+            self._observer.on_add_long_link(source, target)
         return link
 
     def remove_long_link(self, source: int, target: int) -> bool:
@@ -261,6 +302,8 @@ class OverlayGraph:
                     self._incoming[target] = [
                         entry for entry in entries if entry[1] is not link
                     ]
+                if self._observer is not None:
+                    self._observer.on_remove_long_link(source, target, link.alive)
                 return True
         return False
 
@@ -285,6 +328,8 @@ class OverlayGraph:
                 link.created_at = self._creation_counter
                 self._creation_counter += 1
                 self._incoming.setdefault(new_target, []).append((source, link))
+                if self._observer is not None:
+                    self._observer.on_redirect_long_link(source, old_target, new_target)
                 return True
         return False
 
@@ -387,27 +432,24 @@ class OverlayGraph:
         ordered = sorted(labels if labels is not None else self._nodes)
         if not ordered:
             return
-        wrap = isinstance(self.space, RingMetric) or not hasattr(self.space, "n") or True
-        # The line is the only space without wrap-around; detect it by type name
-        # to avoid importing LineMetric just for an isinstance check here.
-        from repro.core.metric import LineMetric  # local import to avoid cycle at module load
-
+        # The line is the only space without wrap-around.
         wrap = not isinstance(self.space, LineMetric)
         count = len(ordered)
         for index, label in enumerate(ordered):
-            node = self._nodes[label]
             if count == 1:
-                node.left = None
-                node.right = None
+                self.set_immediate_neighbors(label, None, None)
                 continue
             left_index = index - 1
             right_index = index + 1
             if wrap:
-                node.left = ordered[left_index % count]
-                node.right = ordered[right_index % count]
+                left = ordered[left_index % count]
+                right = ordered[right_index % count]
             else:
-                node.left = ordered[left_index] if left_index >= 0 else None
-                node.right = ordered[right_index] if right_index < count else None
+                left = ordered[left_index] if left_index >= 0 else None
+                right = ordered[right_index] if right_index < count else None
+            # Routed through the mutator so an attached observer (delta
+            # recorder) sees the rewiring.
+            self.set_immediate_neighbors(label, left, right)
 
     def successor_on_ring(self, label: int) -> int | None:
         """Return the next live vertex clockwise from ``label`` (itself excluded)."""

@@ -65,17 +65,17 @@ def prune_dead_links(graph: OverlayGraph) -> int:
 
     Returns the number of links removed.  This is the "detect" half of
     maintenance and can be used on statically built graphs that have no
-    construction heuristic attached.
+    construction heuristic attached.  Removal goes through
+    :meth:`OverlayGraph.remove_long_link` so the reverse index (and any
+    attached delta recorder) stays consistent.
     """
     removed = 0
     for node in graph.nodes():
-        surviving = []
-        for link in node.long_links:
-            if graph.is_alive(link.target):
-                surviving.append(link)
-            else:
-                removed += 1
-        node.long_links = surviving
+        for target in [
+            link.target for link in node.long_links if not graph.is_alive(link.target)
+        ]:
+            graph.remove_long_link(node.label, target)
+            removed += 1
     return removed
 
 
@@ -104,20 +104,24 @@ class MaintenanceDaemon:
         return self.construction.graph
 
     def repair_node(self, label: int) -> MaintenanceReport:
-        """Repair the outgoing links of a single live node."""
+        """Repair the outgoing links of a single live node.
+
+        Dropped links are removed through the graph's mutator (keeping the
+        reverse index — and any attached
+        :class:`~repro.fastpath.delta.DeltaRecorder` — consistent).
+        """
         report = MaintenanceReport()
         graph = self.graph
         if not graph.is_alive(label):
             return report
         node = graph.node(label)
-        surviving = []
-        for link in node.long_links:
-            if graph.is_alive(link.target):
-                surviving.append(link)
-            else:
-                report.dead_links_dropped += 1
-                report.messages += 1
-        node.long_links = surviving
+        dead_targets = [
+            link.target for link in node.long_links if not graph.is_alive(link.target)
+        ]
+        for target in dead_targets:
+            graph.remove_long_link(label, target)
+            report.dead_links_dropped += 1
+            report.messages += 1
         if self.regenerate:
             for _ in range(report.dead_links_dropped):
                 new_target = self.construction.regenerate_link(label)
@@ -135,13 +139,49 @@ class MaintenanceDaemon:
         self._last_report = report
         return report
 
+    def repair_all_batched(self) -> MaintenanceReport:
+        """Batched :meth:`repair_all`: identical end state, cheaper detection.
+
+        ``repair_all`` walks every live node's link list even when nothing
+        is broken; this variant finds every dead-target link up front
+        through the graph's reverse index (one scan for dead node records,
+        then only *their* incoming lists) and repairs only the affected
+        holders — in the exact
+        order ``repair_all`` would have reached them, so the regeneration
+        RNG draws, the resulting graph, and the report are all identical.
+        This is the repair entry point the churn scenarios and the
+        delta-emitting fastpath loop use: each drop/regenerate/restitch goes
+        through a graph mutator, so an attached
+        :class:`~repro.fastpath.delta.DeltaRecorder` captures the whole pass.
+        """
+        graph = self.graph
+        affected_holders: set[int] = set()
+        for node in graph.nodes():
+            if node.alive:
+                continue
+            for holder in graph.incoming_sources(node.label, only_alive_links=False):
+                if graph.is_alive(holder):
+                    affected_holders.add(holder)
+        report = MaintenanceReport()
+        if affected_holders:
+            for label in self.graph.labels(only_alive=True):
+                if label in affected_holders:
+                    report = report.merge(self.repair_node(label))
+        report.ring_repairs += self._restitch_ring()
+        self._last_report = report
+        return report
+
     def handle_departure(self, label: int) -> MaintenanceReport:
         """Process an explicit (graceful or detected) departure of ``label``.
 
         The departed node is removed from the construction; every node that
-        lost a link to it regenerates a replacement.
+        lost a link to it regenerates a replacement.  A label that is not
+        (or no longer) a member — e.g. the second half of a double
+        departure — is a no-op returning an all-zero report.
         """
         report = MaintenanceReport()
+        if not self.graph.has_node(label):
+            return report
         affected = self.construction.remove_point(label)
         report.ring_repairs += 1
         for holder in affected:
@@ -170,17 +210,20 @@ class MaintenanceDaemon:
 
     def _drop_links_to(self, holder: int, departed: int) -> int:
         """Remove ``holder``'s long links pointing at ``departed``; return the count."""
-        node = self.graph.node(holder)
-        before = len(node.long_links)
-        node.long_links = [link for link in node.long_links if link.target != departed]
-        return before - len(node.long_links)
+        dropped = 0
+        while self.graph.remove_long_link(holder, departed):
+            dropped += 1
+        return dropped
 
     def _restitch_ring(self) -> int:
         """Re-wire immediate neighbours so that live nodes form a clean ring.
 
         Returns the number of pointer updates made.  Dead nodes are skipped
         over: each live node's ``left``/``right`` is set to the nearest live
-        node in the corresponding direction.
+        node in the corresponding direction.  Updates go through
+        :meth:`OverlayGraph.set_immediate_neighbors`, so a delta recorder
+        sees the whole restitch as a scatter of ring rewrites (applied
+        vectorized on the snapshot side).
         """
         live = sorted(self.graph.labels(only_alive=True))
         updates = 0
@@ -195,7 +238,6 @@ class MaintenanceDaemon:
                 new_left = live[(index - 1) % count]
                 new_right = live[(index + 1) % count]
             if node.left != new_left or node.right != new_right:
-                node.left = new_left
-                node.right = new_right
+                self.graph.set_immediate_neighbors(label, new_left, new_right)
                 updates += 1
         return updates

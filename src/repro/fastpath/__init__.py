@@ -10,7 +10,12 @@ those populations cheap.  It has two halves:
 * :mod:`repro.fastpath.batch_router` — **evaluate** thousands of
   (source, target) queries against a snapshot, one vectorized hop per step,
   with :mod:`repro.fastpath.failures` injecting node failures as bulk mask
-  operations.
+  operations;
+* :mod:`repro.fastpath.delta` — **maintain** a compiled snapshot under
+  churn: a :class:`DeltaRecorder` captures join/leave/crash/repair mutations
+  from the object graph and a :class:`DeltaSnapshot` applies them as
+  incremental array updates (slack-capacity CSR edits, liveness mask flips,
+  vectorized ring rewrites), so churn sweeps never pay a full recompile.
 
 Coverage and the equivalence contract
 -------------------------------------
@@ -52,6 +57,7 @@ from repro.fastpath.batch_router import (
     BatchRouteResult,
 )
 from repro.fastpath.builder import build_snapshot
+from repro.fastpath.delta import DeltaRecorder, DeltaSnapshot, SnapshotDelta
 from repro.fastpath.failures import apply_node_failures, sample_node_failures
 from repro.fastpath.snapshot import FastpathSnapshot, compile_snapshot
 
@@ -62,6 +68,9 @@ __all__ = [
     "BatchGreedyRouter",
     "BatchRouteResult",
     "FAILURE_CODES",
+    "SnapshotDelta",
+    "DeltaRecorder",
+    "DeltaSnapshot",
     "apply_node_failures",
     "sample_node_failures",
     "ENGINES",

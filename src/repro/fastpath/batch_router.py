@@ -296,6 +296,23 @@ class BatchGreedyRouter:
         """The greedy next-hop rule the router executes (from the snapshot)."""
         return self.snapshot.greedy_policy()
 
+    def rebase(self, snapshot: FastpathSnapshot) -> None:
+        """Point the router at a delta-updated snapshot.
+
+        Invalidates the per-snapshot caches (the liveness-folded usable
+        matrix and the detour pool) while keeping the router's configuration
+        and its random re-route stream — batches routed across successive
+        deltas continue the same draw sequence, exactly like a scalar router
+        observing the overlay mutate in place.  This is the per-*delta*
+        invalidation point: liveness-only deltas hand back a snapshot that
+        shares its dense adjacency matrices with the previous one (see
+        :meth:`~repro.fastpath.delta.DeltaSnapshot.snapshot`), so only the
+        two caches cleared here are actually recomputed.
+        """
+        self.snapshot = snapshot
+        self._usable_cache = None
+        self._pool_cache = None
+
     def _usable_matrix(self, matrices) -> np.ndarray:
         """Validity with dead neighbours masked out, cached per router.
 

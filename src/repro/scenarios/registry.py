@@ -77,6 +77,7 @@ def _ensure_builtin_scenarios() -> None:
     global _BUILTIN_LOADED
     if not _BUILTIN_LOADED:
         _BUILTIN_LOADED = True
+        import repro.scenarios.churn  # noqa: F401  (registers on import)
         import repro.scenarios.library  # noqa: F401  (registers on import)
 
 

@@ -48,7 +48,7 @@ class SpecError(ValueError):
 
 
 TOPOLOGY_KINDS = ("ideal", "heuristic", "deterministic")
-FAILURE_KINDS = ("none", "nodes", "links", "byzantine")
+FAILURE_KINDS = ("none", "nodes", "links", "byzantine", "churn")
 BYZANTINE_BEHAVIORS = (
     ByzantineBehavior.DROP,
     ByzantineBehavior.MISROUTE,
@@ -105,8 +105,9 @@ class FailureSpec:
     """Which failures are injected before routing.
 
     ``levels`` is the sweep axis: node-failure fractions, link survival
-    probabilities, or Byzantine fractions depending on ``kind``.  An empty
-    tuple means "use the scenario's default sweep".
+    probabilities, Byzantine fractions, or — for ``kind="churn"`` — per-round
+    churn rates (events per round as a fraction of the membership) depending
+    on ``kind``.  An empty tuple means "use the scenario's default sweep".
     """
 
     kind: str = "nodes"

@@ -1,0 +1,218 @@
+"""Unit tests for the incremental snapshot-delta layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_heuristic_network
+from repro.core.maintenance import MaintenanceDaemon
+from repro.fastpath import (
+    BatchGreedyRouter,
+    DeltaRecorder,
+    DeltaSnapshot,
+    SnapshotDelta,
+    compile_snapshot,
+)
+from repro.fastpath.delta import _Slab, assert_snapshots_identical
+
+
+@pytest.fixture
+def construction():
+    c = build_heuristic_network(128, occupied=48, links_per_node=4, seed=9)
+    return c
+
+
+@pytest.fixture
+def mirrored(construction):
+    """(construction, daemon, recorder, mirror) with the recorder attached."""
+    recorder = DeltaRecorder.attach(construction.graph)
+    mirror = DeltaSnapshot.from_graph(construction.graph)
+    daemon = MaintenanceDaemon(construction)
+    yield construction, daemon, recorder, mirror
+    recorder.detach()
+
+
+class TestSlab:
+    def test_append_uses_slack_then_relocates(self):
+        slab = _Slab([[1, 2], [3]])
+        for value in range(10, 20):
+            slab.append(0, value)
+        assert list(slab.row(0)) == [1, 2] + list(range(10, 20))
+        assert list(slab.row(1)) == [3]
+
+    def test_remove_first_removes_one_occurrence(self):
+        slab = _Slab([[5, 7, 5, 9]])
+        slab.remove_first(0, 5)
+        assert list(slab.row(0)) == [7, 5, 9]
+
+    def test_remove_missing_value_raises(self):
+        slab = _Slab([[1]])
+        with pytest.raises(ValueError, match="diverged"):
+            slab.remove_first(0, 99)
+
+    def test_remove_all_and_replace_first(self):
+        slab = _Slab([[4, 8, 4, 8, 4]])
+        assert slab.remove_all(0, 4) == 3
+        slab.replace_first(0, 8, 6)
+        assert list(slab.row(0)) == [6, 8]
+
+    def test_compaction_preserves_rows(self):
+        slab = _Slab([[i] for i in range(20)])
+        # Force many relocations so the orphaned fraction crosses the
+        # compaction threshold at least once.
+        for row in range(20):
+            for value in range(40):
+                slab.append(row, value)
+        for row in range(20):
+            assert list(slab.row(row)) == [row] + list(range(40))
+
+
+class TestDeltaRecorder:
+    def test_attach_is_exclusive(self, construction):
+        recorder = DeltaRecorder.attach(construction.graph)
+        try:
+            with pytest.raises(ValueError, match="observer"):
+                DeltaRecorder.attach(construction.graph)
+        finally:
+            recorder.detach()
+        # After detaching, a new recorder may attach.
+        DeltaRecorder.attach(construction.graph).detach()
+
+    def test_drain_resets_the_batch(self, mirrored):
+        construction, _daemon, recorder, _mirror = mirrored
+        construction.graph.fail_node(construction.graph.labels()[0])
+        first = recorder.drain()
+        assert len(first) == 1 and first.liveness_only
+        assert len(recorder.drain()) == 0
+
+    def test_dead_link_removal_is_not_recorded(self, mirrored):
+        construction, _daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        holder = next(node.label for node in graph.nodes() if node.long_links)
+        link = graph.node(holder).long_links[0]
+        link.alive = False  # a link-failure flip (outside the delta vocabulary)
+        recorder.drain()
+        graph.remove_long_link(holder, link.target)
+        delta = recorder.drain()
+        assert len(delta) == 0
+
+    def test_wire_ring_is_observed(self, mirrored):
+        """Bulk ring rewiring routes through the mutator and stays mirrored."""
+        construction, _daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        graph.wire_ring()
+        delta = recorder.drain()
+        assert delta.counts().get("set_ring", 0) == len(graph)
+        mirror.apply(delta)
+        assert_snapshots_identical(mirror.snapshot(), compile_snapshot(graph))
+
+    def test_counts_summary(self, mirrored):
+        construction, daemon, recorder, _mirror = mirrored
+        graph = construction.graph
+        graph.fail_node(graph.labels()[1])
+        daemon.repair_all_batched()
+        counts = recorder.drain().counts()
+        assert counts.get("fail") == 1
+        assert "set_ring" in counts
+
+
+class TestDeltaSnapshot:
+    def test_liveness_only_delta_reuses_adjacency(self, mirrored):
+        construction, _daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        before = mirror.snapshot()
+        graph.fail_node(graph.labels()[2])
+        delta = recorder.drain()
+        assert delta.liveness_only
+        mirror.apply(delta)
+        after = mirror.snapshot()
+        # The adjacency arrays (and the cached dense matrices) are shared.
+        assert after.neighbor_indices is before.neighbor_indices
+        assert after.neighbor_indptr is before.neighbor_indptr
+        assert not np.array_equal(after.alive, before.alive)
+        assert_snapshots_identical(after, compile_snapshot(graph))
+
+    def test_structural_delta_rebuilds_adjacency(self, mirrored):
+        construction, daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        before = mirror.snapshot()
+        daemon.handle_departure(sorted(graph.labels(only_alive=True))[3])
+        mirror.apply(recorder.drain())
+        after = mirror.snapshot()
+        assert after.num_nodes == before.num_nodes - 1
+        assert_snapshots_identical(after, compile_snapshot(graph))
+
+    def test_asymmetric_compile_parity(self, construction):
+        recorder = DeltaRecorder.attach(construction.graph)
+        try:
+            mirror = DeltaSnapshot.from_graph(
+                construction.graph, symmetric_neighbors=False
+            )
+            daemon = MaintenanceDaemon(construction)
+            construction.graph.fail_node(construction.graph.labels()[5])
+            daemon.repair_all_batched()
+            mirror.apply(recorder.drain())
+            assert_snapshots_identical(
+                mirror.snapshot(),
+                compile_snapshot(construction.graph, symmetric_neighbors=False),
+            )
+        finally:
+            recorder.detach()
+
+    def test_mask_tier_rejects_structural_ops(self, mirrored):
+        construction, daemon, recorder, _mirror = mirrored
+        graph = construction.graph
+        mask_mirror = DeltaSnapshot.from_snapshot(compile_snapshot(graph))
+        daemon.handle_departure(sorted(graph.labels(only_alive=True))[0])
+        delta = recorder.drain()
+        with pytest.raises(NotImplementedError, match="recompile"):
+            mask_mirror.apply(delta)
+
+    def test_mask_tier_crash_matches_with_alive(self, construction):
+        base = compile_snapshot(construction.graph)
+        mirror = DeltaSnapshot.from_snapshot(base)
+        victims = construction.graph.labels()[:5]
+        mirror.crash(victims)
+        construction_alive = base.alive.copy()
+        construction_alive[base.indices_of(np.asarray(victims))] = False
+        assert np.array_equal(mirror.snapshot().alive, construction_alive)
+        mirror.revive(victims)
+        assert np.array_equal(mirror.snapshot().alive, base.alive)
+
+    def test_unsupported_space_raises(self):
+        from repro.baselines import CanNetwork
+
+        can = CanNetwork(side=4, dimensions=2)
+        with pytest.raises(NotImplementedError, match="one-dimensional"):
+            DeltaSnapshot.from_graph(can)  # not an OverlayGraph in a 1-d space
+
+
+class TestRouterRebase:
+    def test_rebase_invalidates_usable_and_pool_caches(self, mirrored):
+        construction, daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        router = BatchGreedyRouter(mirror.snapshot())
+        live = sorted(graph.labels(only_alive=True))
+        first = router.route_pairs([(live[0], live[-1])])
+        assert first.success.all()
+        # Mutate: crash a node and repair, then rebase onto the delta result.
+        graph.fail_node(live[1])
+        daemon.repair_all_batched()
+        mirror.apply(recorder.drain())
+        router.rebase(mirror.snapshot())
+        assert router._usable_cache is None and router._pool_cache is None
+        live = sorted(graph.labels(only_alive=True))
+        pairs = [(live[0], live[len(live) // 2]), (live[1], live[-1])]
+        from repro.core.routing import GreedyRouter
+
+        scalar = GreedyRouter(graph)
+        result = router.route_pairs(pairs, record_paths=True)
+        for index, (source, target) in enumerate(pairs):
+            reference = scalar.route(source, target)
+            assert bool(result.success[index]) == reference.success
+            assert result.paths[index] == reference.path
+
+    def test_snapshot_delta_repr_roundtrip(self):
+        delta = SnapshotDelta()
+        assert not delta and len(delta) == 0 and delta.liveness_only

@@ -40,6 +40,29 @@ class TestMaintenanceReport:
         assert merged.ring_repairs == 5
         assert merged.messages == 9
 
+    def test_merge_is_associative_and_has_identity(self):
+        reports = [
+            MaintenanceReport(dead_links_dropped=1, messages=2),
+            MaintenanceReport(links_regenerated=3, ring_repairs=4),
+            MaintenanceReport(dead_links_dropped=5, links_regenerated=6, messages=7),
+            MaintenanceReport(),
+        ]
+        for a in reports:
+            for b in reports:
+                for c in reports:
+                    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        identity = MaintenanceReport()
+        for report in reports:
+            assert report.merge(identity) == report
+            assert identity.merge(report) == report
+
+    def test_merge_does_not_mutate_operands(self):
+        first = MaintenanceReport(dead_links_dropped=1)
+        second = MaintenanceReport(dead_links_dropped=2)
+        first.merge(second)
+        assert first.dead_links_dropped == 1
+        assert second.dead_links_dropped == 2
+
 
 class TestMaintenanceDaemon:
     def test_repair_node_drops_and_regenerates(self, construction):
@@ -101,3 +124,92 @@ class TestMaintenanceDaemon:
         report = daemon.repair_node(0)
         assert report.dead_links_dropped == 0
         assert report.links_regenerated == 0
+
+    def test_repair_keeps_reverse_index_consistent(self, construction):
+        """Dropped links must leave the incoming index, not linger in it."""
+        daemon = MaintenanceDaemon(construction, regenerate=False)
+        graph = construction.graph
+        holder = next(node.label for node in graph.nodes() if node.long_links)
+        victim = graph.node(holder).long_links[0].target
+        graph.fail_node(victim)
+        daemon.repair_node(holder)
+        assert holder not in graph.incoming_sources(victim, only_alive_links=False)
+
+    def test_double_departure_is_a_noop(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        departing = construction.graph.labels()[0]
+        first = daemon.handle_departure(departing)
+        assert first.ring_repairs >= 1
+        before = sorted(construction.graph.labels())
+        second = daemon.handle_departure(departing)
+        assert second == MaintenanceReport()
+        assert sorted(construction.graph.labels()) == before
+        # The stored last report is the one from the real departure.
+        assert daemon.last_report is first
+
+    def test_departure_with_no_live_successor(self, construction):
+        """Every other node dead: departure still restitches without error."""
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        departing = graph.labels()[0]
+        for label in graph.labels():
+            if label != departing:
+                graph.fail_node(label)
+        report = daemon.handle_departure(departing)
+        assert not graph.has_node(departing)
+        assert report.ring_repairs >= 1
+        # No live node regenerates links (every candidate target is dead).
+        assert report.links_regenerated == 0
+        # A repair pass over the all-dead remainder leaves a clean state.
+        daemon.repair_all()
+
+    def test_restitch_with_single_live_node(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        survivor = graph.labels()[3]
+        for label in graph.labels():
+            if label != survivor:
+                graph.fail_node(label)
+        daemon.repair_all()
+        node = graph.node(survivor)
+        assert node.left is None and node.right is None
+
+    def test_restitch_with_no_live_nodes(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        graph = construction.graph
+        for label in graph.labels():
+            graph.fail_node(label)
+        report = daemon.repair_all()
+        assert report.ring_repairs == 0
+
+
+class TestBatchedRepair:
+    def test_repair_all_batched_matches_repair_all(self):
+        """Same seed, same damage: batched and per-node repair are identical."""
+        import numpy as np
+
+        from repro.fastpath import compile_snapshot
+
+        def run(batched: bool):
+            c = HeuristicConstruction(space=RingMetric(256), links_per_node=4, seed=0)
+            c.add_points(list(range(0, 256, 4)))
+            daemon = MaintenanceDaemon(c)
+            for victim in c.graph.labels()[::5]:
+                c.graph.fail_node(victim)
+            report = daemon.repair_all_batched() if batched else daemon.repair_all()
+            return compile_snapshot(c.graph), report
+
+        plain_snapshot, plain_report = run(batched=False)
+        batched_snapshot, batched_report = run(batched=True)
+        assert plain_report == batched_report
+        for name in ("labels", "alive", "neighbor_indptr", "neighbor_indices"):
+            assert np.array_equal(
+                getattr(plain_snapshot, name), getattr(batched_snapshot, name)
+            ), name
+
+    def test_repair_all_batched_on_healthy_graph(self, construction):
+        daemon = MaintenanceDaemon(construction)
+        report = daemon.repair_all_batched()
+        assert report.dead_links_dropped == 0
+        assert report.links_regenerated == 0
+        assert daemon.last_report is report

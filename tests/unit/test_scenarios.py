@@ -155,8 +155,37 @@ class TestRegistry:
         assert {
             "figure5", "figure6", "figure7", "table1",
             "ablation-replacement", "ablation-backtrack", "ablation-exponent",
-            "byzantine", "baselines",
+            "byzantine", "baselines", "churn", "maintenance-cost",
         } <= names
+
+    def test_churn_scenarios_run_on_both_engines_identically(self):
+        """The churn scenarios are engine-agnostic: identical tables."""
+        from repro.scenarios import run
+
+        spec = get_scenario("churn").make_spec(
+            overrides={"topology.nodes": 128, "workload.searches": 15,
+                       "extras.rounds": 2}
+        )
+        object_run = run(spec)
+        fastpath_run = run(spec.with_overrides({"engine": "fastpath"}))
+        assert object_run.engine_used == "object"
+        assert fastpath_run.engine_used == "fastpath"
+        assert [t.to_json_dict() for t in object_run.tables] == [
+            t.to_json_dict() for t in fastpath_run.tables
+        ]
+
+    def test_churn_scenario_sweeps_every_rate_level(self):
+        """failures.levels is the sweep axis: one table per churn rate."""
+        from repro.scenarios import run
+
+        spec = get_scenario("churn").make_spec(
+            overrides={"topology.nodes": 128, "workload.searches": 10,
+                       "extras.rounds": 2, "failures.levels": (0.02, 0.08)}
+        )
+        result = run(spec)
+        assert len(result.tables) == 2
+        assert "0.020" in result.tables[0].title
+        assert "0.080" in result.tables[1].title
 
     def test_unknown_scenario_lists_known_names(self):
         with pytest.raises(UnknownScenarioError, match="figure5"):
