@@ -36,6 +36,12 @@ if __name__ == "__main__":  # direct execution from a clean checkout
 import numpy as np
 
 from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.telemetry import (
+    SECONDS_BUCKETS,
+    current as telemetry_current,
+    session as telemetry_session,
+    write_bench_result,
+)
 
 SEED = 4
 QUERIES = 10_000
@@ -102,6 +108,12 @@ def run_protocol_engine_comparison(
                 failures += 1
         object_seconds = time.perf_counter() - started
 
+        tel = telemetry_current()
+        if tel is not None:
+            tel.observe(
+                f"bench.{name}.object_seconds", object_seconds, buckets=SECONDS_BUCKETS
+            )
+
         started = time.perf_counter()
         snapshot = system.compile_snapshot()
         # The dense routing matrices are pure topology artifacts built
@@ -115,6 +127,18 @@ def run_protocol_engine_comparison(
         router = BatchGreedyRouter(snapshot, hop_limit=system.hop_limit)
         batch = router.route_batch(pair_array[:, 0], pair_array[:, 1])
         finished = time.perf_counter()
+
+        if tel is not None:
+            tel.observe(
+                f"bench.{name}.fastpath_compile_seconds",
+                compiled - started,
+                buckets=SECONDS_BUCKETS,
+            )
+            tel.observe(
+                f"bench.{name}.fastpath_route_seconds",
+                finished - compiled,
+                buckets=SECONDS_BUCKETS,
+            )
 
         results[name] = {
             "nodes": len(system.labels(only_alive=False)),
@@ -152,7 +176,16 @@ def check_protocol_speedups(stats: dict) -> None:
         )
 
 
-def write_baselines_artifact(stats: dict, path: Path | None = None) -> Path:
+def measure_protocol_engine_comparison(**kwargs) -> tuple[dict, dict]:
+    """Run the engine comparison inside a telemetry session; return (stats, dump)."""
+    with telemetry_session() as tel:
+        stats = run_protocol_engine_comparison(**kwargs)
+    return stats, tel.to_dict()
+
+
+def write_baselines_artifact(
+    stats: dict, path: Path | None = None, telemetry: dict | None = None
+) -> Path:
     """Write the per-protocol engine comparison as BENCH_baselines.json."""
     from repro.experiments.runner import ExperimentTable
     from repro.scenarios import RunResult
@@ -202,8 +235,7 @@ def write_baselines_artifact(stats: dict, path: Path | None = None) -> Path:
             for entry in stats.values()
         ),
     )
-    path.write_text(record.to_json() + "\n", encoding="utf-8")
-    return path
+    return write_bench_result(record, path, telemetry=telemetry)
 
 
 def _report_protocols(stats: dict) -> str:
@@ -261,8 +293,8 @@ def test_baseline_comparison(benchmark, paper_scale):
 
 def test_protocol_fastpath_speedups(benchmark, paper_scale):
     """Every baseline protocol must batch-route >= 10x faster, identically."""
-    stats = benchmark.pedantic(
-        run_protocol_engine_comparison,
+    stats, telemetry = benchmark.pedantic(
+        measure_protocol_engine_comparison,
         kwargs={"paper_scale": paper_scale},
         rounds=1,
         iterations=1,
@@ -270,15 +302,15 @@ def test_protocol_fastpath_speedups(benchmark, paper_scale):
     print(_report_protocols(stats))
     for protocol, entry in stats.items():
         benchmark.extra_info[f"{protocol}_speedup"] = entry["speedup"]
-    artifact = write_baselines_artifact(stats)
+    artifact = write_baselines_artifact(stats, telemetry=telemetry)
     print(f"  artifact: {artifact}")
     check_protocol_speedups(stats)
 
 
 if __name__ == "__main__":
-    protocol_stats = run_protocol_engine_comparison()
+    protocol_stats, run_telemetry = measure_protocol_engine_comparison()
     print(_report_protocols(protocol_stats))
-    artifact = write_baselines_artifact(protocol_stats)
+    artifact = write_baselines_artifact(protocol_stats, telemetry=run_telemetry)
     print(f"  artifact: {artifact}")
     check_protocol_speedups(protocol_stats)
     print("\nall assertions passed (>= 10x batched routing per protocol, "

@@ -56,6 +56,12 @@ from repro.fastpath import (
 )
 from repro.fastpath.delta import assert_snapshots_identical
 from repro.simulation.workload import ChurnWorkload, LookupWorkload
+from repro.telemetry import (
+    MS_BUCKETS,
+    current as telemetry_current,
+    session as telemetry_session,
+    write_bench_result,
+)
 
 SPACE = 1 << 15
 NODES = 1 << 14
@@ -142,12 +148,25 @@ def run_churn_delta_benchmark(
             started = time.perf_counter()
             mirror.apply(delta)
             updated = mirror.snapshot()
-            delta_seconds += time.perf_counter() - started
+            refresh_elapsed = time.perf_counter() - started
+            delta_seconds += refresh_elapsed
 
             started = time.perf_counter()
             fresh = compile_snapshot(graph)
-            recompile_seconds += time.perf_counter() - started
+            recompile_elapsed = time.perf_counter() - started
+            recompile_seconds += recompile_elapsed
             refreshes += 1
+
+            tel = telemetry_current()
+            if tel is not None:
+                # Per-refresh distributions, not just the totals — the delta
+                # path's cost varies with burst size while recompiles do not.
+                tel.observe(
+                    "bench.delta_refresh_ms", refresh_elapsed * 1e3, buckets=MS_BUCKETS
+                )
+                tel.observe(
+                    "bench.recompile_ms", recompile_elapsed * 1e3, buckets=MS_BUCKETS
+                )
 
             assert_snapshots_identical(
                 updated, fresh, context=f"round {round_index} refresh {burst_index}"
@@ -260,12 +279,25 @@ def stats_to_run_result(stats: dict):
     )
 
 
-def write_bench_artifact(stats: dict, path: Path | None = None) -> Path:
+def measure_churn_delta_benchmark(**kwargs) -> tuple[dict, dict]:
+    """Run the benchmark inside a telemetry session; return (stats, dump).
+
+    The dump carries the per-refresh latency histograms observed above plus
+    everything the instrumented layers record on their own (``refresh.*``
+    strategy counters, ``repair.*``, ``route.*``).
+    """
+    with telemetry_session() as tel:
+        stats = run_churn_delta_benchmark(**kwargs)
+    return stats, tel.to_dict()
+
+
+def write_bench_artifact(
+    stats: dict, path: Path | None = None, telemetry: dict | None = None
+) -> Path:
     """Write the RunResult JSON artifact (default: BENCH_churn.json at repo root)."""
     if path is None:
         path = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
-    path.write_text(stats_to_run_result(stats).to_json() + "\n", encoding="utf-8")
-    return path
+    return write_bench_result(stats_to_run_result(stats), path, telemetry=telemetry)
 
 
 def _report(stats: dict) -> str:
@@ -291,22 +323,24 @@ def test_churn_delta_speedup(benchmark):
     Always runs at the acceptance scale (2^14 nodes, 5% churn/round) — the
     assert is pinned there, so there is no reduced non-paper scale.
     """
-    stats = benchmark.pedantic(run_churn_delta_benchmark, rounds=1, iterations=1)
+    stats, telemetry = benchmark.pedantic(
+        measure_churn_delta_benchmark, rounds=1, iterations=1
+    )
     print(_report(stats))
     for key in (
         "speedup", "delta_ms_per_refresh", "recompile_ms_per_refresh",
         "crash_only_refresh_ms", "delta_ops",
     ):
         benchmark.extra_info[key] = stats[key]
-    artifact = write_bench_artifact(stats)
+    artifact = write_bench_artifact(stats, telemetry=telemetry)
     print(f"  artifact: {artifact}")
     check_speedup(stats)
 
 
 if __name__ == "__main__":
-    result = run_churn_delta_benchmark()
+    result, run_telemetry = measure_churn_delta_benchmark()
     print(_report(result))
-    artifact = write_bench_artifact(result)
+    artifact = write_bench_artifact(result, telemetry=run_telemetry)
     print(f"  artifact: {artifact}")
     check_speedup(result)
     print("\nall assertions passed (>= 10x delta refresh, field-identical snapshots)")

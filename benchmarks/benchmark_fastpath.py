@@ -19,7 +19,10 @@ Results are reported through the scenario API's structured
 ``BENCH_fastpath.json`` (engine comparison) and ``BENCH_figure6.json`` (a
 fastpath Figure-6 run plus the recovery-strategy and build speedups) at the
 repository root, so successive PRs leave a machine-readable performance
-trajectory that can be diffed.
+trajectory that can be diffed.  Both artifacts carry the shared
+``bench_schema`` stamp and a telemetry dump (phase timings observed into
+histograms plus the engines' own counters), and ``repro bench-diff`` compares
+two of them metric-by-metric.
 """
 
 from __future__ import annotations
@@ -39,10 +42,17 @@ from repro.core.builder import build_ideal_network
 from repro.core.routing import GreedyRouter, RecoveryStrategy
 from repro.fastpath import BatchGreedyRouter, compile_snapshot
 from repro.simulation.workload import LookupWorkload
+from repro.telemetry import SECONDS_BUCKETS, session as telemetry_session, write_bench_result
 
 NODES = 10_000
 QUERIES = 10_000
 SEED = 1
+
+
+def _observe_seconds(tel, stats: dict, keys: tuple[str, ...]) -> None:
+    """Fold the measured phase timings into the session's histograms."""
+    for key in keys:
+        tel.observe(f"bench.{key}", float(stats[key]), buckets=SECONDS_BUCKETS)
 
 
 def _object_engine(graph, pairs) -> tuple[float, float, float]:
@@ -78,7 +88,13 @@ def _fastpath_engine(graph, pairs) -> tuple[float, float, float, float]:
 
 
 def run_comparison(nodes: int = NODES, queries: int = QUERIES, seed: int = SEED) -> dict:
-    """Build one overlay, route the same queries with both engines."""
+    """Build one overlay, route the same queries with both engines.
+
+    Run inside a :func:`repro.telemetry.session` when a telemetry dump should
+    accompany the stats — the batch engine's own ``route.*`` counters land in
+    the active session, and the caller folds the phase timings in via
+    :func:`_observe_seconds`.
+    """
     graph = build_ideal_network(nodes, seed=seed).graph
     pairs = LookupWorkload(seed=seed + 1).pairs(graph.labels(only_alive=True), queries)
 
@@ -221,12 +237,25 @@ def stats_to_run_result(stats: dict):
     )
 
 
-def write_bench_artifact(stats: dict, path: Path | None = None) -> Path:
+def measure_comparison(nodes: int = NODES, queries: int = QUERIES, seed: int = SEED) -> tuple[dict, dict]:
+    """Run the comparison inside a telemetry session; return (stats, dump)."""
+    with telemetry_session() as tel:
+        stats = run_comparison(nodes=nodes, queries=queries, seed=seed)
+        _observe_seconds(
+            tel,
+            stats,
+            ("object_seconds", "fastpath_compile_seconds", "fastpath_route_seconds"),
+        )
+    return stats, tel.to_dict()
+
+
+def write_bench_artifact(
+    stats: dict, path: Path | None = None, telemetry: dict | None = None
+) -> Path:
     """Write the RunResult JSON artifact (default: BENCH_fastpath.json at repo root)."""
     if path is None:
         path = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
-    path.write_text(stats_to_run_result(stats).to_json() + "\n", encoding="utf-8")
-    return path
+    return write_bench_result(stats_to_run_result(stats), path, telemetry=telemetry)
 
 
 def write_figure6_artifact(
@@ -254,7 +283,7 @@ def write_figure6_artifact(
     spec = figure6_spec(
         nodes=nodes, searches_per_point=searches, seed=SEED, engine="fastpath"
     )
-    record = run(spec)
+    record = run(spec, collect_telemetry=True)
     assert record.engine_used == "fastpath", record.engine_used
 
     strategy_table = ExperimentTable(
@@ -279,8 +308,7 @@ def write_figure6_artifact(
     for key in sorted(build_stats):
         build_table.add_row(key, build_stats[key])
     record.tables.extend([strategy_table, build_table])
-    path.write_text(record.to_json() + "\n", encoding="utf-8")
-    return path
+    return write_bench_result(record, path, telemetry=record.telemetry)
 
 
 def check_agreement_and_speedup(stats: dict) -> None:
@@ -363,8 +391,8 @@ def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
     nodes = (1 << 15) if paper_scale else NODES
     queries = 50_000 if paper_scale else QUERIES
 
-    stats = benchmark.pedantic(
-        run_comparison,
+    stats, telemetry = benchmark.pedantic(
+        measure_comparison,
         kwargs={"nodes": nodes, "queries": queries, "seed": SEED},
         rounds=1,
         iterations=1,
@@ -372,7 +400,7 @@ def test_fastpath_speedup_and_agreement(benchmark, paper_scale):
     print(_report(stats))
     for key, value in stats.items():
         benchmark.extra_info[key] = value
-    artifact = write_bench_artifact(stats)
+    artifact = write_bench_artifact(stats, telemetry=telemetry)
     print(f"  artifact: {artifact}")
     check_agreement_and_speedup(stats)
 
@@ -398,9 +426,9 @@ def test_recovery_strategies_and_direct_build(benchmark, paper_scale):
 
 
 if __name__ == "__main__":
-    result = run_comparison()
+    result, run_telemetry = measure_comparison()
     print(_report(result))
-    artifact = write_bench_artifact(result)
+    artifact = write_bench_artifact(result, telemetry=run_telemetry)
     print(f"  artifact: {artifact}")
     check_agreement_and_speedup(result)
     strategy_stats = run_strategy_comparison()

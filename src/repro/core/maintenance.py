@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.construction import HeuristicConstruction
 from repro.core.graph import OverlayGraph
+from repro.telemetry.core import current as telemetry_current
 
 __all__ = ["MaintenanceReport", "MaintenanceDaemon", "prune_dead_links"]
 
@@ -154,6 +155,19 @@ class MaintenanceDaemon:
         through a graph mutator, so an attached
         :class:`~repro.fastpath.delta.DeltaRecorder` captures the whole pass.
         """
+        tel = telemetry_current()
+        if tel is None:
+            return self._repair_all_batched_impl()
+        with tel.span("repair"):
+            report = self._repair_all_batched_impl()
+        tel.count("repair.passes")
+        tel.count("repair.dead_links_found", report.dead_links_dropped)
+        tel.count("repair.links_regenerated", report.links_regenerated)
+        tel.count("repair.ring_repairs", report.ring_repairs)
+        tel.count("repair.holders_touched", self._last_holders_touched)
+        return report
+
+    def _repair_all_batched_impl(self) -> MaintenanceReport:
         graph = self.graph
         affected_holders: set[int] = set()
         for node in graph.nodes():
@@ -162,6 +176,7 @@ class MaintenanceDaemon:
             for holder in graph.incoming_sources(node.label, only_alive_links=False):
                 if graph.is_alive(holder):
                     affected_holders.add(holder)
+        self._last_holders_touched = len(affected_holders)
         report = MaintenanceReport()
         if affected_holders:
             for label in self.graph.labels(only_alive=True):

@@ -71,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="output encoding (default: aligned text tables)",
         )
 
+    def add_telemetry_options(subparser) -> None:
+        subparser.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="collect instrumentation and print the phase-tree summary",
+        )
+        subparser.add_argument(
+            "--telemetry-json",
+            default=None,
+            metavar="PATH",
+            help="collect instrumentation and dump the raw telemetry tree here",
+        )
+
     # -- generic scenario commands ------------------------------------------
 
     list_command = subparsers.add_parser(
@@ -100,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_command.add_argument(
         "--output", default=None, metavar="PATH", help="also write the RunResult JSON here"
     )
+    add_telemetry_options(run_command)
     add_format_option(run_command)
 
     sweep_command = subparsers.add_parser(
@@ -134,9 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_command.add_argument(
         "--include-timing", action="store_true",
-        help="keep per-cell wall-clock in the JSON (breaks byte-identical diffs)",
+        help="keep per-cell wall-clock inline in the cell JSON (breaks "
+        "byte-identical diffs; the default already preserves timings in a "
+        "separate side table)",
     )
+    add_telemetry_options(sweep_command)
     add_format_option(sweep_command, ("text", "json"))
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json artifacts metric-by-metric and flag regressions",
+    )
+    bench_diff.add_argument("old", metavar="OLD.json", help="baseline BENCH artifact")
+    bench_diff.add_argument("new", metavar="NEW.json", help="candidate BENCH artifact")
+    bench_diff.add_argument(
+        "--fail-over",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="exit non-zero when any directional metric regresses by more "
+        "than PCT percent (default: 50)",
+    )
 
     # -- legacy per-figure aliases ------------------------------------------
 
@@ -278,24 +310,35 @@ def _run_list(args) -> None:
 
 def _run_scenario(args) -> None:
     from repro.scenarios import get_scenario, run
+    from repro.telemetry import render_telemetry
 
     overrides = _parse_overrides(args.overrides)
     if args.engine is not None and "engine" not in overrides:
         overrides["engine"] = args.engine
     definition = get_scenario(args.scenario)
     spec = definition.make_spec(overrides=overrides, seed=args.seed)
-    result = run(spec)
+    collect = bool(args.telemetry or args.telemetry_json)
+    result = run(spec, collect_telemetry=collect)
     if args.output:
         Path(args.output).write_text(result.to_json() + "\n", encoding="utf-8")
     if args.format == "json":
-        print(result.to_json())
+        print(result.to_json(include_telemetry=bool(args.telemetry)))
     elif args.format == "csv":
         print(result.to_csv(), end="")
     else:
         print(result.to_text())
+    if args.telemetry_json and result.telemetry is not None:
+        Path(args.telemetry_json).write_text(
+            json.dumps(result.telemetry, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.telemetry and args.format != "json" and result.telemetry is not None:
+        print()
+        print(render_telemetry(result.telemetry))
 
 
 def _run_sweep(args) -> None:
+    from repro import telemetry
     from repro.scenarios import Sweep, SweepResult
 
     grid: dict[str, list[str]] = {}
@@ -309,13 +352,66 @@ def _run_sweep(args) -> None:
         master_seed=args.seed,
     )
     resume = SweepResult.load(args.resume) if args.resume else None
-    result = sweep.run(jobs=args.jobs, resume=resume)
+    collect = bool(args.telemetry or args.telemetry_json)
+    sweep_telemetry = None
+    if collect:
+        with telemetry.session() as tel:
+            result = sweep.run(jobs=args.jobs, resume=resume, collect_telemetry=True)
+        sweep_telemetry = tel.to_dict()
+    else:
+        result = sweep.run(jobs=args.jobs, resume=resume)
     if args.output:
         result.save(args.output, include_timing=args.include_timing)
     if args.format == "json":
         print(result.to_json(include_timing=args.include_timing))
     else:
         print(result.to_text())
+    if args.telemetry_json and sweep_telemetry is not None:
+        payload = {
+            "sweep": sweep_telemetry,
+            "cells": {
+                cell.key: cell.result.telemetry
+                for cell in result.cells
+                if cell.result.telemetry is not None
+            },
+        }
+        Path(args.telemetry_json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    if args.telemetry and sweep_telemetry is not None:
+        print()
+        print(telemetry.render_telemetry(sweep_telemetry))
+
+
+def _run_bench_diff(args) -> int:
+    from repro.telemetry import diff_bench, load_bench, render_bench_diff
+
+    old = load_bench(args.old)
+    new = load_bench(args.new)
+    old_schema = old.get("bench_schema")
+    new_schema = new.get("bench_schema")
+    if old_schema != new_schema:
+        print(
+            f"bench-diff: schema note: old={old_schema or '<unstamped>'} "
+            f"new={new_schema or '<unstamped>'}",
+            file=sys.stderr,
+        )
+    diffs = diff_bench(old, new)
+    print(render_bench_diff(diffs, fail_over=args.fail_over))
+    failing = [
+        diff
+        for diff in diffs
+        if diff.regression_pct is not None and diff.regression_pct > args.fail_over
+    ]
+    if failing:
+        print(
+            f"bench-diff: {len(failing)} metric(s) regressed more than "
+            f"{args.fail_over:.1f}%: "
+            + ", ".join(f"{d.name} ({d.regression_pct:+.1f}%)" for d in failing),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -475,6 +571,7 @@ _DISPATCH = {
     "list": _run_list,
     "run": _run_scenario,
     "sweep": _run_sweep,
+    "bench-diff": _run_bench_diff,
     "figure5": _run_figure5,
     "figure6": _run_figure6,
     "figure7": _run_figure7,
@@ -502,14 +599,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             sub_args.seed = args.seed
             main_dispatch(sub_args)
             print()
-    else:
-        main_dispatch(args)
-    return 0
+        return 0
+    return main_dispatch(args) or 0
 
 
-def main_dispatch(args) -> None:
-    """Dispatch a parsed namespace to its runner (used by the ``all`` command)."""
-    _DISPATCH[args.command](args)
+def main_dispatch(args) -> int | None:
+    """Dispatch a parsed namespace to its runner (used by the ``all`` command).
+
+    Returns the handler's exit code; most handlers return ``None`` (success),
+    ``bench-diff`` returns 1 when a metric regresses past ``--fail-over``.
+    """
+    return _DISPATCH[args.command](args)
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ path-for-path by ``tests/property/test_property_fastpath.py``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,6 +58,11 @@ from repro.core.routing import (
     RoutingMode,
 )
 from repro.fastpath.snapshot import FastpathSnapshot
+from repro.telemetry.core import (
+    HOP_BUCKETS,
+    POW2_BUCKETS,
+    current as telemetry_current,
+)
 from repro.util.rng import spawn_rng
 
 __all__ = ["BatchRouteResult", "BatchGreedyRouter", "FAILURE_CODES"]
@@ -415,7 +421,29 @@ class BatchGreedyRouter:
         success[trivial] = True
 
         active = np.flatnonzero(~dead_source & ~dead_target & ~trivial)
-        if self.recovery is RecoveryStrategy.BACKTRACK:
+        # Telemetry is fetched once per batch; the per-round guards inside
+        # the run loops are plain truthiness checks, so the disabled path
+        # costs nothing measurable (property-tested to be bit-identical).
+        tel = telemetry_current()
+        if tel is not None:
+            tel.count("route.batches")
+            tel.count("route.queries", num_queries)
+            batch_started = time.perf_counter()
+            with tel.span("route"):
+                if self.recovery is RecoveryStrategy.BACKTRACK:
+                    self._run_backtrack(
+                        active, current, target_index, success, hops, codes, backtracks, paths
+                    )
+                else:
+                    self._run_forward(
+                        active, current, target_index, success, hops, codes, reroutes, paths
+                    )
+            tel.observe(
+                "route.batch_ms", (time.perf_counter() - batch_started) * 1e3
+            )
+            if success.any():
+                tel.observe_many("route.hops", hops[success], buckets=HOP_BUCKETS)
+        elif self.recovery is RecoveryStrategy.BACKTRACK:
             self._run_backtrack(
                 active, current, target_index, success, hops, codes, backtracks, paths
             )
@@ -463,10 +491,13 @@ class BatchGreedyRouter:
         # real target.
         detour = np.full(current.shape[0], -1, dtype=np.int64)
         pending: list[int] = []
+        tel = telemetry_current()
 
         while active.size or pending:
             if not active.size:
                 active = self._draw_detours(pending, current, detour, codes, reroutes)
+                if tel is not None and active.size:
+                    tel.count("route.recovery.reroute", int(active.size))
                 pending = []
                 continue
 
@@ -478,6 +509,11 @@ class BatchGreedyRouter:
                 active = active[~over]
                 if not active.size:
                     continue
+
+            if tel is not None:
+                tel.count("route.rounds")
+                tel.count("route.rows_scanned", int(active.size))
+                tel.observe("route.frontier", float(active.size), buckets=POW2_BUCKETS)
 
             # Arriving at the detour node costs no hop: resume routing to
             # the real target from there.
@@ -577,6 +613,7 @@ class BatchGreedyRouter:
         history = np.full((num_queries, depth), -1, dtype=np.int64)
         history_len = np.zeros(num_queries, dtype=np.int64)
         tried = _PrefixTable(num_queries)
+        tel = telemetry_current()
 
         while active.size:
             # Scalar loop order: hop budget first, then the arrival check.
@@ -592,6 +629,11 @@ class BatchGreedyRouter:
                 active = active[~arrived]
                 if not active.size:
                     break
+
+            if tel is not None:
+                tel.count("route.rounds")
+                tel.count("route.rows_scanned", int(active.size))
+                tel.observe("route.frontier", float(active.size), buckets=POW2_BUCKETS)
 
             chosen, new_consumed, consumed_nodes, stuck = self._backtrack_select(
                 matrices, alive, active, current, target_index, tried
@@ -633,6 +675,8 @@ class BatchGreedyRouter:
                 can_return = history_len[stuck_queries] > 0
                 returning = stuck_queries[can_return]
                 if returning.size:
+                    if tel is not None:
+                        tel.count("route.recovery.backtrack", int(returning.size))
                     previous = history[returning, history_len[returning] - 1]
                     history_len[returning] -= 1
                     current[returning] = previous

@@ -40,12 +40,14 @@ import numpy as np
 
 from repro.core.distributions import InversePowerLawDistribution
 from repro.fastpath.snapshot import FastpathSnapshot
+from repro.telemetry.core import spanned as telemetry_spanned
 from repro.util.rng import spawn_rng
 from repro.util.validation import ensure_positive
 
 __all__ = ["build_snapshot"]
 
 
+@telemetry_spanned("build")
 def build_snapshot(
     n: int,
     links_per_node: int | None = None,

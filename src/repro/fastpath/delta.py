@@ -47,6 +47,7 @@ flip individual link liveness must recompile, exactly as before.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +55,7 @@ import numpy as np
 from repro.core.graph import OverlayGraph
 from repro.core.metric import LineMetric, RingMetric
 from repro.fastpath.snapshot import FastpathSnapshot
+from repro.telemetry.core import current as telemetry_current
 
 __all__ = [
     "SnapshotDelta",
@@ -446,6 +448,9 @@ class DeltaSnapshot:
         self._prev_start: np.ndarray | None = None
         self._prev_count: np.ndarray | None = None
         self._prev_present: np.ndarray | None = None
+        # Which materialization strategy the last snapshot() call took
+        # (reported to telemetry as refresh.strategy.<name>).
+        self._last_strategy = "full_rebuild"
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -534,6 +539,10 @@ class DeltaSnapshot:
         vertices is deferred and flushed as one vectorized pass at the end
         of the batch.
         """
+        tel = telemetry_current()
+        if tel is not None and delta.ops:
+            for kind, count in delta.counts().items():
+                tel.count(f"refresh.ops.{kind}", count)
         if not self.structural:
             self._apply_mask(delta)
             return
@@ -689,10 +698,28 @@ class DeltaSnapshot:
           materialization's arrays;
         * a large dirty set (or the first call) — one fully vectorized
           rebuild of all rows.
+
+        With telemetry enabled, each call records a ``refresh`` span, the
+        strategy taken (``refresh.strategy.liveness_reuse`` /
+        ``row_splice`` / ``full_rebuild``), and a ``refresh.ms`` histogram
+        sample.
         """
+        tel = telemetry_current()
+        if tel is None:
+            return self._snapshot_impl()
+        started = time.perf_counter()
+        with tel.span("refresh"):
+            snapshot = self._snapshot_impl()
+        tel.count(f"refresh.strategy.{self._last_strategy}")
+        tel.observe("refresh.ms", (time.perf_counter() - started) * 1e3)
+        return snapshot
+
+    def _snapshot_impl(self) -> FastpathSnapshot:
         if not self.structural:
+            self._last_strategy = "liveness_reuse"
             return self._base.with_alive(self._mask_alive)
         if self._cached is not None and not self._structure_dirty:
+            self._last_strategy = "liveness_reuse"
             return self._cached.with_alive(self._alive[self._cached.labels])
         snapshot = self._materialize()
         self._cached = snapshot
@@ -711,6 +738,7 @@ class DeltaSnapshot:
             self._prev_present is not None
             and len(self._dirty) * 3 < 2 * n
         )
+        self._last_strategy = "row_splice" if splice else "full_rebuild"
         if splice:
             values, counts = self._spliced_rows(labels)
         else:

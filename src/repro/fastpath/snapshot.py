@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.graph import OverlayGraph
 from repro.core.metric import LineMetric, RingMetric
 from repro.overlay.policy import GreedyPolicy, MetricGreedyPolicy
+from repro.telemetry.core import spanned as telemetry_spanned
 
 __all__ = ["FastpathSnapshot", "compile_snapshot"]
 
@@ -299,6 +300,7 @@ class FastpathSnapshot:
         return delta
 
 
+@telemetry_spanned("compile")
 def compile_snapshot(
     graph: OverlayGraph,
     symmetric_neighbors: bool = True,

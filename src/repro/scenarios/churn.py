@@ -34,6 +34,7 @@ Registered scenarios
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +61,7 @@ from repro.scenarios.spec import (
 )
 from repro.simulation.latency import LogNormalLatency
 from repro.simulation.workload import ChurnWorkload, LookupWorkload
+from repro.telemetry.core import current as telemetry_current
 from repro.util.rng import derive_seed
 
 __all__ = ["churn_spec", "maintenance_cost_spec", "ChurnRound", "run_churn_rounds"]
@@ -112,12 +114,14 @@ def run_churn_rounds(
     the object engine at the same seed — the engines are hop-for-hop
     compatible and every draw is derived from ``seed``.
     """
-    construction = build_heuristic_network(
-        nodes,
-        occupied=occupied,
-        links_per_node=links_per_node,
-        seed=derive_seed(seed, "churn-build"),
-    )
+    tel = telemetry_current()
+    with tel.span("build") if tel is not None else nullcontext():
+        construction = build_heuristic_network(
+            nodes,
+            occupied=occupied,
+            links_per_node=links_per_node,
+            seed=derive_seed(seed, "churn-build"),
+        )
     graph = construction.graph
     daemon = MaintenanceDaemon(construction)
     engine_used = select_engine(engine, recovery)
@@ -126,10 +130,11 @@ def run_churn_rounds(
     route_seed = derive_seed(seed, "churn-route")
     if engine_used == "fastpath":
         recorder = DeltaRecorder.attach(graph)
-        mirror = DeltaSnapshot.from_graph(graph)
-        batch_router = BatchGreedyRouter(
-            mirror.snapshot(), recovery=recovery, seed=route_seed
-        )
+        with tel.span("compile") if tel is not None else nullcontext():
+            mirror = DeltaSnapshot.from_graph(graph)
+            batch_router = BatchGreedyRouter(
+                mirror.snapshot(), recovery=recovery, seed=route_seed
+            )
     scalar_router = None
     if engine_used == "object":
         scalar_router = GreedyRouter(graph, recovery=recovery, seed=route_seed)

@@ -20,6 +20,7 @@ from typing import Any, Mapping
 from repro.experiments.runner import ExperimentTable
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, SpecError
+from repro.telemetry.core import session as telemetry_session
 
 __all__ = ["ScenarioOutcome", "RunResult", "run"]
 
@@ -56,9 +57,14 @@ class RunResult:
     engine_used: str
     tables: list[ExperimentTable]
     #: Wall-clock duration; ``None`` when the record was deserialised from
-    #: JSON saved without timing (e.g. a resumed sweep cell), so a missing
-    #: measurement is never confused with an instant run.
+    #: JSON saved without timing.  Resumed sweep cells regain their original
+    #: measurement through the sweep file's ``timings`` side table (see
+    #: :meth:`repro.scenarios.sweep.SweepResult.save`).
     seconds: float | None = 0.0
+    #: Telemetry dump (:meth:`repro.telemetry.Telemetry.to_dict`) when the
+    #: run was executed with ``collect_telemetry=True``; excluded from the
+    #: deterministic JSON by default, same pattern as ``include_timing``.
+    telemetry: dict | None = None
     raw: Any = field(default=None, repr=False, compare=False)
 
     def to_text(self) -> str:
@@ -71,12 +77,16 @@ class RunResult:
 
         return tables_to_csv(self.tables)
 
-    def to_json_dict(self, include_timing: bool = True) -> dict:
+    def to_json_dict(
+        self, include_timing: bool = True, include_telemetry: bool = False
+    ) -> dict:
         """Return a JSON-serialisable dict.
 
         ``include_timing=False`` drops the wall-clock field so two runs of
         the same spec serialise byte-identically (used by sweep determinism
-        checks and resume).
+        checks and resume).  ``include_telemetry`` opts the (equally
+        nondeterministic) telemetry dump in; it is excluded by default for
+        the same reason.
         """
         data = {
             "schema": RUN_RESULT_SCHEMA,
@@ -88,12 +98,21 @@ class RunResult:
         }
         if include_timing and self.seconds is not None:
             data["seconds"] = self.seconds
+        if include_telemetry and self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         return data
 
-    def to_json(self, indent: int | None = 2, include_timing: bool = True) -> str:
+    def to_json(
+        self,
+        indent: int | None = 2,
+        include_timing: bool = True,
+        include_telemetry: bool = False,
+    ) -> str:
         """Serialise to a JSON string with deterministic key order."""
         return json.dumps(
-            self.to_json_dict(include_timing=include_timing),
+            self.to_json_dict(
+                include_timing=include_timing, include_telemetry=include_telemetry
+            ),
             indent=indent,
             sort_keys=True,
         )
@@ -111,6 +130,7 @@ class RunResult:
             engine_used=data["engine_used"],
             tables=[ExperimentTable.from_json_dict(entry) for entry in data["tables"]],
             seconds=data.get("seconds"),
+            telemetry=data.get("telemetry"),
         )
 
     @classmethod
@@ -135,17 +155,30 @@ def _normalise_outcome(outcome: Any) -> ScenarioOutcome:
     )
 
 
-def run(spec: ScenarioSpec) -> RunResult:
+def run(spec: ScenarioSpec, collect_telemetry: bool = False) -> RunResult:
     """Execute the scenario described by ``spec`` and return its result.
 
     The spec is validated (it validates itself on construction, but a spec
     deserialised from edited JSON is re-checked here), the scenario is looked
     up in the registry, executed, and timed.
+
+    ``collect_telemetry=True`` executes the scenario inside its own
+    :func:`repro.telemetry.session` and attaches the resulting dump to
+    :attr:`RunResult.telemetry`; results are bit-identical either way (the
+    instrumentation only observes).  When a session is already active and
+    ``collect_telemetry`` is off, the scenario's spans and counters land in
+    that outer session — which is how the benchmark scripts aggregate.
     """
     spec.validate()
     definition = get_scenario(spec.scenario)
     started = time.perf_counter()
-    outcome = _normalise_outcome(definition.execute(spec))
+    if collect_telemetry:
+        with telemetry_session() as tel:
+            outcome = _normalise_outcome(definition.execute(spec))
+        telemetry_dump = tel.to_dict()
+    else:
+        outcome = _normalise_outcome(definition.execute(spec))
+        telemetry_dump = None
     seconds = time.perf_counter() - started
     return RunResult(
         scenario=spec.scenario,
@@ -154,5 +187,6 @@ def run(spec: ScenarioSpec) -> RunResult:
         engine_used=outcome.engine_used or spec.engine,
         tables=outcome.tables,
         seconds=seconds,
+        telemetry=telemetry_dump,
         raw=outcome.raw,
     )

@@ -9,14 +9,18 @@ Because each cell's seed depends only on the master seed, the scenario name,
 and the cell's own overrides — never on execution order — a parallel sweep
 produces **byte-identical** JSON to the serial sweep with the same master
 seed.  :meth:`SweepResult.to_json` therefore excludes wall-clock timings by
-default, so saved sweeps can be compared with a plain diff and reused to
-resume an interrupted grid.
+default; :meth:`SweepResult.save` keeps the measurements anyway, in a
+separate top-level ``timings`` side table (cell key → seconds) outside the
+deterministic cell payload, so resumed cells regain their original timing on
+:meth:`SweepResult.load` while the cells themselves stay diffable.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +30,10 @@ from repro.experiments.runner import jsonify_value
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.run import RunResult, run
 from repro.scenarios.spec import SpecError, coerce_override
+from repro.telemetry.core import (
+    SECONDS_BUCKETS,
+    current as telemetry_current,
+)
 from repro.util.rng import derive_seed
 
 __all__ = ["Sweep", "SweepCellResult", "SweepResult"]
@@ -43,17 +51,25 @@ def cell_key(overrides: Mapping[str, Any]) -> str:
     return "|".join(f"{key}={_canonical(value)}" for key, value in sorted(overrides.items()))
 
 
-def _execute_cell(payload: tuple[str, dict, int]) -> dict:
-    """Worker: run one cell, return the RunResult as a JSON dict.
+def _execute_cell(payload: tuple[str, dict, int, bool, float]) -> dict:
+    """Worker: run one cell, return the RunResult plus execution metadata.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; returns plain
     dicts (not RunResult objects) so the parent reconstructs every cell the
-    same way regardless of serial or parallel execution.
+    same way regardless of serial or parallel execution.  ``submitted_at`` is
+    the parent's wall clock at submission, so ``queue_wait_s`` measures how
+    long the cell sat before a worker picked it up.
     """
-    scenario, overrides, seed = payload
+    scenario, overrides, seed, collect_telemetry, submitted_at = payload
+    queue_wait = max(0.0, time.time() - submitted_at)
     definition = get_scenario(scenario)
     spec = definition.make_spec(overrides=overrides).with_seed(seed)
-    return run(spec).to_json_dict(include_timing=True)
+    result = run(spec, collect_telemetry=collect_telemetry)
+    return {
+        "cell": result.to_json_dict(include_timing=True, include_telemetry=True),
+        "queue_wait_s": queue_wait,
+        "worker": os.getpid(),
+    }
 
 
 @dataclass
@@ -120,22 +136,48 @@ class SweepResult:
     def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
         if data.get("schema", SWEEP_SCHEMA) != SWEEP_SCHEMA:
             raise SpecError(f"unsupported SweepResult schema {data.get('schema')!r}")
-        return cls(
+        result = cls(
             scenario=data["scenario"],
             master_seed=data["master_seed"],
             grid={k: list(v) for k, v in data.get("grid", {}).items()},
             base=dict(data.get("base", {})),
             cells=[SweepCellResult.from_json_dict(cell) for cell in data.get("cells", [])],
         )
+        # Restore per-cell wall-clock measurements from the ``timings`` side
+        # table :meth:`save` writes — resumed cells keep their original
+        # timing instead of losing it to the deterministic serialisation.
+        timings = data.get("timings") or {}
+        for cell in result.cells:
+            if cell.result.seconds is None and cell.key in timings:
+                cell.result.seconds = float(timings[cell.key])
+        return result
 
     @classmethod
     def from_json(cls, text: str) -> "SweepResult":
         return cls.from_json_dict(json.loads(text))
 
     def save(self, path: str | Path, include_timing: bool = False) -> Path:
-        """Write the sweep JSON to ``path``; returns the path."""
+        """Write the sweep JSON to ``path``; returns the path.
+
+        The default serialisation keeps the cells deterministic (no inline
+        timing), but the measured per-cell seconds are preserved in a
+        top-level ``timings`` side table so that :meth:`load` — and therefore
+        sweep resume — never loses them.  :meth:`diff` and the in-memory
+        :meth:`to_json` ignore the side table.
+        """
         path = Path(path)
-        path.write_text(self.to_json(include_timing=include_timing) + "\n", encoding="utf-8")
+        data = self.to_json_dict(include_timing=include_timing)
+        if not include_timing:
+            timings = {
+                cell.key: cell.result.seconds
+                for cell in self.cells
+                if cell.result.seconds is not None
+            }
+            if timings:
+                data["timings"] = timings
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         return path
 
     @classmethod
@@ -242,6 +284,7 @@ class Sweep:
         jobs: int = 1,
         resume: SweepResult | None = None,
         progress: Callable[[str], None] | None = None,
+        collect_telemetry: bool = False,
     ) -> SweepResult:
         """Execute every cell; ``jobs > 1`` fans out over worker processes.
 
@@ -250,6 +293,14 @@ class Sweep:
         them.  Serial and parallel execution produce identical results — the
         per-cell seeds depend only on the cell, and cells are assembled in
         grid order either way.
+
+        ``collect_telemetry=True`` makes every executed cell record its own
+        telemetry session (attached to the cell's
+        :attr:`~repro.scenarios.run.RunResult.telemetry`).  Independently,
+        when the *parent* process has an active telemetry session, the sweep
+        records per-cell wall clock (``sweep.cell_seconds``), queue wait
+        (``sweep.queue_wait_s``), and per-worker cell counts
+        (``sweep.worker.<pid>.cells``) into it.
         """
         if resume is not None and (
             resume.scenario != self.scenario or resume.master_seed != self.master_seed
@@ -260,9 +311,10 @@ class Sweep:
                 f"master_seed {resume.master_seed} (want {self.master_seed})"
             )
 
-        pending: list[tuple[int, tuple[str, dict, int]]] = []
+        pending: list[tuple[int, tuple[str, dict, int, bool, float]]] = []
         reused: dict[int, SweepCellResult] = {}
         cell_overrides = self.cells()
+        submitted_at = time.time()
         for index, overrides in enumerate(cell_overrides):
             key = cell_key(overrides)
             seed = self.cell_seed(overrides)
@@ -272,7 +324,9 @@ class Sweep:
                 if progress:
                     progress(f"cell {key or '<base>'}: reused from resume")
             else:
-                pending.append((index, (self.scenario, overrides, seed)))
+                pending.append(
+                    (index, (self.scenario, overrides, seed, collect_telemetry, submitted_at))
+                )
 
         executed: dict[int, dict] = {}
         if pending:
@@ -290,6 +344,19 @@ class Sweep:
                     if progress:
                         progress(f"cell {cell_key(payload[1]) or '<base>'}: done")
 
+        tel = telemetry_current()
+        if tel is not None:
+            for data in executed.values():
+                seconds = data["cell"].get("seconds")
+                if seconds is not None:
+                    tel.observe("sweep.cell_seconds", seconds, buckets=SECONDS_BUCKETS)
+                tel.observe(
+                    "sweep.queue_wait_s", data["queue_wait_s"], buckets=SECONDS_BUCKETS
+                )
+                tel.count(f"sweep.worker.{data['worker']}.cells")
+            tel.count("sweep.cells_executed", len(executed))
+            tel.count("sweep.cells_reused", len(reused))
+
         cells: list[SweepCellResult] = []
         for index, overrides in enumerate(cell_overrides):
             if index in reused:
@@ -300,7 +367,7 @@ class Sweep:
                         key=cell_key(overrides),
                         overrides=dict(overrides),
                         seed=self.cell_seed(overrides),
-                        result=RunResult.from_json_dict(executed[index]),
+                        result=RunResult.from_json_dict(executed[index]["cell"]),
                     )
                 )
         return SweepResult(

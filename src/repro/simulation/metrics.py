@@ -4,13 +4,20 @@ The collector records one :class:`SearchRecord` per search plus aggregate
 message counters, and :func:`summarize_searches` turns a list of records into
 the summary statistics the paper reports (fraction of failed searches,
 average delivery time of successful searches).
+
+The counters and the percentile arithmetic are the telemetry layer's
+primitives (:class:`repro.telemetry.Counter`,
+:func:`repro.telemetry.summarize_values`) rather than hand-rolled ints and
+NumPy calls — one implementation of "count things, summarise samples" across
+the repository.  ``summary()`` output is unchanged key for key and value for
+value.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
+from repro.telemetry.core import Counter, summarize_values
 
 __all__ = ["SearchRecord", "MetricsCollector", "summarize_searches"]
 
@@ -33,27 +40,39 @@ class SearchRecord:
         return self.finished_at - self.started_at
 
 
-@dataclass
 class MetricsCollector:
     """Accumulates per-search records and message counters."""
 
-    searches: list[SearchRecord] = field(default_factory=list)
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
+    def __init__(self, searches: list[SearchRecord] | None = None) -> None:
+        self.searches: list[SearchRecord] = list(searches) if searches else []
+        self._sent = Counter("messages_sent")
+        self._delivered = Counter("messages_delivered")
+        self._dropped = Counter("messages_dropped")
+
+    @property
+    def messages_sent(self) -> int:
+        return self._sent.value
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._delivered.value
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._dropped.value
 
     def record_search(self, record: SearchRecord) -> None:
         """Append one finished search."""
         self.searches.append(record)
 
     def record_message_sent(self) -> None:
-        self.messages_sent += 1
+        self._sent.incr()
 
     def record_message_delivered(self) -> None:
-        self.messages_delivered += 1
+        self._delivered.incr()
 
     def record_message_dropped(self) -> None:
-        self.messages_dropped += 1
+        self._dropped.incr()
 
     def summary(self) -> dict:
         """Return the aggregate statistics of all recorded searches."""
@@ -87,20 +106,17 @@ def summarize_searches(records: list[SearchRecord]) -> dict:
         }
     successful = [record for record in records if record.success]
     failed_fraction = 1.0 - len(successful) / total
-    if successful:
-        hops = np.array([record.hops for record in successful], dtype=float)
-        latencies = np.array([record.latency for record in successful], dtype=float)
-        mean_hops = float(hops.mean())
-        median_hops = float(np.median(hops))
-        p95_hops = float(np.percentile(hops, 95))
-        mean_latency = float(latencies.mean())
-    else:
-        mean_hops = median_hops = p95_hops = mean_latency = 0.0
+    hops = summarize_values(
+        (record.hops for record in successful), percentiles=(50, 95)
+    )
+    latency = summarize_values(
+        (record.latency for record in successful), percentiles=()
+    )
     return {
         "searches": total,
         "failed_fraction": failed_fraction,
-        "mean_hops_successful": mean_hops,
-        "median_hops_successful": median_hops,
-        "p95_hops_successful": p95_hops,
-        "mean_latency_successful": mean_latency,
+        "mean_hops_successful": hops["mean"],
+        "median_hops_successful": hops["p50"],
+        "p95_hops_successful": hops["p95"],
+        "mean_latency_successful": latency["mean"],
     }

@@ -1,0 +1,66 @@
+"""Zero-overhead-when-disabled telemetry: spans, counters, histograms, bench gate.
+
+See :mod:`repro.telemetry.core` for the design; the usual import is::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        ...
+        print(tel.render())
+"""
+
+from repro.telemetry.bench import (
+    BENCH_SCHEMA,
+    BenchMetricDiff,
+    diff_bench,
+    extract_metrics,
+    load_bench,
+    metric_direction,
+    render_bench_diff,
+    write_bench_result,
+)
+from repro.telemetry.core import (
+    HOP_BUCKETS,
+    MS_BUCKETS,
+    POW2_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    SpanNode,
+    Telemetry,
+    current,
+    disable,
+    enable,
+    session,
+    spanned,
+    summarize_values,
+)
+from repro.telemetry.report import render_telemetry
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchMetricDiff",
+    "Counter",
+    "Gauge",
+    "HOP_BUCKETS",
+    "Histogram",
+    "MS_BUCKETS",
+    "POW2_BUCKETS",
+    "SECONDS_BUCKETS",
+    "SpanNode",
+    "Telemetry",
+    "current",
+    "diff_bench",
+    "disable",
+    "enable",
+    "extract_metrics",
+    "load_bench",
+    "metric_direction",
+    "render_bench_diff",
+    "render_telemetry",
+    "session",
+    "spanned",
+    "summarize_values",
+    "write_bench_result",
+]

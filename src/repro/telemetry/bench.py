@@ -1,0 +1,176 @@
+"""BENCH artifact schema stamping and the bench-diff regression gate.
+
+BENCH_*.json files are :class:`~repro.scenarios.run.RunResult` dumps whose
+tables hold ``[metric, value]`` rows.  This module gives them a trajectory:
+
+* :func:`write_bench_result` writes a RunResult (optionally with a telemetry
+  dump) stamped with the shared ``bench_schema`` version, so every benchmark
+  script emits the same envelope.
+* :func:`diff_bench` / :func:`render_bench_diff` compare an old and a new
+  artifact metric-by-metric, classifying each metric as lower-is-better
+  (durations, latencies), higher-is-better (throughput, success rates), or
+  informational (sizes, counts), and flag regressions beyond a threshold —
+  the CI perf gate behind ``repro bench-diff OLD.json NEW.json --fail-over``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchMetricDiff",
+    "diff_bench",
+    "extract_metrics",
+    "load_bench",
+    "metric_direction",
+    "render_bench_diff",
+    "write_bench_result",
+]
+
+#: Shared schema version stamped into every BENCH_*.json by the benchmark
+#: scripts.  Bump when the artifact envelope changes shape.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Name fragments marking a metric where *smaller* is better.
+_LOWER_IS_BETTER = ("seconds", "_ms", "latency", "_s_per", "duration")
+#: Name fragments marking a metric where *larger* is better.
+_HIGHER_IS_BETTER = ("qps", "speedup", "success_rate", "throughput", "per_sec")
+
+
+def metric_direction(name: str) -> str:
+    """Classify a metric name: ``"lower"``, ``"higher"``, or ``"neutral"``.
+
+    Neutral metrics (node counts, hop means, query totals) are reported but
+    never flagged — a changed workload size is not a regression.
+    """
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _HIGHER_IS_BETTER):
+        return "higher"
+    if any(fragment in lowered for fragment in _LOWER_IS_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def write_bench_result(result, path: str | Path, telemetry: Mapping | None = None) -> Path:
+    """Write ``result`` (a RunResult) as a schema-stamped BENCH artifact.
+
+    ``telemetry``, when given, is embedded under a ``"telemetry"`` key —
+    outside the RunResult schema proper, and ignored (like ``bench_schema``)
+    by :meth:`RunResult.from_json_dict`.
+    """
+    data = result.to_json_dict(include_timing=True)
+    data["bench_schema"] = BENCH_SCHEMA
+    if telemetry is not None:
+        data["telemetry"] = dict(telemetry)
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load a BENCH artifact; accepts pre-``bench_schema`` files unchanged."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "tables" not in data:
+        raise ValueError(f"{path}: not a BENCH artifact (no tables)")
+    return data
+
+
+def extract_metrics(data: Mapping) -> dict[str, float]:
+    """Flatten all ``[metric, value]`` rows across the artifact's tables.
+
+    Only two-column metric/value tables contribute; a metric appearing in
+    several tables is prefixed with its table title to stay unambiguous.
+    """
+    entries: list[tuple[str, str, float]] = []
+    for table in data.get("tables", []):
+        columns = [str(column).lower() for column in table.get("columns", [])]
+        if len(columns) != 2 or columns[0] != "metric":
+            continue
+        title = str(table.get("title", ""))
+        for row in table.get("rows", []):
+            if len(row) == 2 and isinstance(row[1], (int, float)) and not isinstance(row[1], bool):
+                entries.append((title, str(row[0]), float(row[1])))
+    seen_in: dict[str, set[str]] = {}
+    for title, name, _value in entries:
+        seen_in.setdefault(name, set()).add(title)
+    metrics: dict[str, float] = {}
+    for title, name, value in entries:
+        key = f"{title}::{name}" if len(seen_in[name]) > 1 else name
+        metrics[key] = value
+    if isinstance(data.get("seconds"), (int, float)):
+        metrics.setdefault("wall_clock_seconds", float(data["seconds"]))
+    return metrics
+
+
+@dataclass
+class BenchMetricDiff:
+    """One metric's old/new comparison."""
+
+    name: str
+    direction: str
+    old: float | None
+    new: float | None
+    #: Regression percentage: positive = worse, negative = better, ``None``
+    #: when the metric is neutral, missing on one side, or old == 0.
+    regression_pct: float | None
+
+    @property
+    def flagged(self) -> bool:
+        return self.regression_pct is not None and self.regression_pct > 0
+
+
+def _regression_pct(direction: str, old: float, new: float) -> float | None:
+    if direction == "neutral" or old == 0 or not math.isfinite(old) or not math.isfinite(new):
+        return None
+    change = (new - old) / abs(old) * 100.0
+    return change if direction == "lower" else -change
+
+
+def diff_bench(old: Mapping, new: Mapping) -> list[BenchMetricDiff]:
+    """Compare two BENCH artifacts metric-by-metric, sorted worst-first."""
+    old_metrics = extract_metrics(old)
+    new_metrics = extract_metrics(new)
+    diffs: list[BenchMetricDiff] = []
+    for name in sorted(old_metrics.keys() | new_metrics.keys()):
+        old_value = old_metrics.get(name)
+        new_value = new_metrics.get(name)
+        direction = metric_direction(name)
+        pct = (
+            _regression_pct(direction, old_value, new_value)
+            if old_value is not None and new_value is not None
+            else None
+        )
+        diffs.append(BenchMetricDiff(name, direction, old_value, new_value, pct))
+    diffs.sort(key=lambda d: (-(d.regression_pct if d.regression_pct is not None else -math.inf), d.name))
+    return diffs
+
+
+def render_bench_diff(diffs: list[BenchMetricDiff], fail_over: float | None = None) -> str:
+    """Aligned text report; regressions beyond ``fail_over`` marked ``FAIL``."""
+    width = max((len(diff.name) for diff in diffs), default=6)
+    lines = [
+        f"{'metric':<{width}}  {'dir':<7}  {'old':>14}  {'new':>14}  {'regression':>11}"
+    ]
+    for diff in diffs:
+        old_text = f"{diff.old:.6g}" if diff.old is not None else "-"
+        new_text = f"{diff.new:.6g}" if diff.new is not None else "-"
+        if diff.regression_pct is None:
+            pct_text = "-"
+            marker = ""
+        else:
+            pct_text = f"{diff.regression_pct:+.1f}%"
+            if fail_over is not None and diff.regression_pct > fail_over:
+                marker = "  FAIL"
+            elif diff.regression_pct > 0:
+                marker = "  worse"
+            else:
+                marker = ""
+        lines.append(
+            f"{diff.name:<{width}}  {diff.direction:<7}  {old_text:>14}  {new_text:>14}  {pct_text:>11}{marker}"
+        )
+    return "\n".join(lines)

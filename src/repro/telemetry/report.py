@@ -1,0 +1,82 @@
+"""Human-readable rendering of a telemetry dump.
+
+Works on the plain-dict form produced by :meth:`Telemetry.to_dict`, so it can
+render live sessions and ``--telemetry-json`` files alike.  Output shape::
+
+    phase tree
+      build                 1x   26.841s
+      compile               1x    0.412s
+      route               200x    3.207s
+    counters
+      refresh.strategy.row_splice        183
+      repair.holders_touched            4021
+    histograms
+      refresh.ms    count=200 mean=1.92 p50=1.71 p99=8.40 max=9.12
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["render_telemetry"]
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds:.3f}s"
+
+
+def _render_span(name: str, node: Mapping, depth: int, lines: list[str]) -> None:
+    indent = "  " * (depth + 1)
+    label = f"{indent}{name}"
+    lines.append(
+        f"{label:<40} {node.get('count', 0):>6}x {_format_seconds(node.get('seconds', 0.0)):>12}"
+    )
+    for child_name, child in node.get("children", {}).items():
+        _render_span(child_name, child, depth + 1, lines)
+
+
+def render_telemetry(data: Mapping) -> str:
+    """Render a :meth:`Telemetry.to_dict` dump as an aligned text report."""
+    lines: list[str] = []
+
+    spans = data.get("spans", {})
+    lines.append("phase tree")
+    if spans:
+        for name, node in spans.items():
+            _render_span(name, node, 0, lines)
+    else:
+        lines.append("  (no spans recorded)")
+
+    counters = data.get("counters", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:>12}")
+
+    gauges = data.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            gauge = gauges[name]
+            lines.append(
+                f"  {name:<{width}}  value={gauge.get('value')} "
+                f"min={gauge.get('min')} max={gauge.get('max')}"
+            )
+
+    histograms = data.get("histograms", {})
+    if histograms:
+        lines.append("histograms")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            hist = histograms[name]
+            lines.append(
+                f"  {name:<{width}}  count={hist.get('count', 0)}"
+                f" mean={hist.get('mean', 0.0):.3f}"
+                f" p50={hist.get('p50', 0.0):.3f}"
+                f" p99={hist.get('p99', 0.0):.3f}"
+                f" max={hist.get('max') if hist.get('max') is not None else 0.0}"
+            )
+
+    return "\n".join(lines)

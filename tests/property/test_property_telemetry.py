@@ -1,0 +1,161 @@
+"""Property-based telemetry neutrality: instrumentation only observes.
+
+The telemetry design rule (see :mod:`repro.telemetry.core`) is that enabling
+a session must never change what the instrumented code computes — the spans,
+counters, and histograms are pure observers.  These tests route random
+workloads and refresh delta snapshots with telemetry enabled and disabled
+and assert the results are **bit-identical**, and that the disabled path
+records nothing at all (the zero-overhead contract's observable half).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.core.builder import build_ideal_network
+from repro.core.failures import NodeFailureModel
+from repro.core.routing import RecoveryStrategy
+from repro.fastpath import BatchGreedyRouter, compile_snapshot
+from repro.simulation.workload import LookupWorkload
+
+
+@st.composite
+def routed_scenario(draw):
+    """A random topology plus workload parameters."""
+    exponent = draw(st.integers(min_value=5, max_value=8))
+    n = 1 << exponent
+    seed = draw(st.integers(min_value=0, max_value=30))
+    failure_level = draw(st.sampled_from([0.0, 0.2, 0.5]))
+    recovery = draw(st.sampled_from(list(RecoveryStrategy)))
+    queries = draw(st.integers(min_value=5, max_value=30))
+    return n, seed, failure_level, recovery, queries
+
+
+def _route(graph, pairs, recovery, seed):
+    router = BatchGreedyRouter(
+        compile_snapshot(graph),
+        recovery=recovery,
+        seed=seed,
+        reroute_pool=graph.labels(only_alive=True)
+        if recovery is RecoveryStrategy.RANDOM_REROUTE
+        else None,
+    )
+    return router.route_pairs(pairs, record_paths=True)
+
+
+class TestRoutingNeutrality:
+    @settings(max_examples=20, deadline=None)
+    @given(routed_scenario())
+    def test_route_batch_bit_identical_enabled_vs_disabled(self, scenario):
+        n, seed, level, recovery, queries = scenario
+        graph = build_ideal_network(n, seed=seed).graph
+        NodeFailureModel(level, seed=seed + 7).apply(graph)
+        pairs = LookupWorkload(seed=seed + 1).pairs(
+            graph.labels(only_alive=True), queries
+        )
+
+        assert telemetry.current() is None
+        plain = _route(graph, pairs, recovery, seed)
+        with telemetry.session():
+            observed = _route(graph, pairs, recovery, seed)
+
+        assert np.array_equal(plain.success, observed.success)
+        assert np.array_equal(plain.hops, observed.hops)
+        assert np.array_equal(plain.reroutes, observed.reroutes)
+        assert np.array_equal(plain.backtracks, observed.backtracks)
+        assert plain.paths == observed.paths
+
+    @settings(max_examples=10, deadline=None)
+    @given(routed_scenario())
+    def test_disabled_routing_records_nothing(self, scenario):
+        """With no session active, route_batch leaves no telemetry anywhere.
+
+        A stale context would silently bill one run's counters to another
+        session — so the check is a fresh session opened *after* the routing,
+        which must stay completely empty.
+        """
+        n, seed, level, recovery, queries = scenario
+        graph = build_ideal_network(n, seed=seed).graph
+        NodeFailureModel(level, seed=seed + 7).apply(graph)
+        pairs = LookupWorkload(seed=seed + 1).pairs(
+            graph.labels(only_alive=True), queries
+        )
+
+        assert telemetry.current() is None
+        _route(graph, pairs, recovery, seed)
+        with telemetry.session() as tel:
+            pass
+        assert tel.root.children == {}
+        assert tel.counters == {}
+        assert tel.histograms == {}
+
+    @settings(max_examples=10, deadline=None)
+    @given(routed_scenario())
+    def test_enabled_routing_actually_records(self, scenario):
+        """The counter families the README documents really do fire."""
+        n, seed, level, recovery, queries = scenario
+        graph = build_ideal_network(n, seed=seed).graph
+        NodeFailureModel(level, seed=seed + 7).apply(graph)
+        pairs = LookupWorkload(seed=seed + 1).pairs(
+            graph.labels(only_alive=True), queries
+        )
+
+        with telemetry.session() as tel:
+            _route(graph, pairs, recovery, seed)
+        assert tel.root.children["route"].count == 1
+        assert tel.counters["route.batches"].value == 1
+        assert tel.counters["route.queries"].value == len(pairs)
+        assert tel.counters["route.rounds"].value > 0
+        assert tel.histograms["route.batch_ms"].count == 1
+
+
+class TestRefreshNeutrality:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        steps=st.integers(min_value=1, max_value=20),
+    )
+    def test_delta_refresh_bit_identical_enabled_vs_disabled(self, seed, steps):
+        from repro.core.network import P2PNetwork
+        from repro.fastpath import DeltaRecorder, DeltaSnapshot
+        from repro.fastpath.delta import assert_snapshots_identical
+        from repro.util.rng import spawn_rng
+
+        def churn_and_snapshot(collect: bool):
+            network = P2PNetwork(space_size=512, links_per_node=5, seed=seed)
+            rng = spawn_rng(seed, "telemetry-neutrality")
+            members = sorted(
+                int(x) for x in rng.choice(512, size=120, replace=False)
+            )
+            network.join_many(members)
+            recorder = DeltaRecorder.attach(network.graph)
+            mirror = DeltaSnapshot.from_graph(network.graph)
+            snapshots = []
+            with telemetry.session() if collect else nullcontext():
+                for _ in range(steps):
+                    live = sorted(network.graph.labels(only_alive=True))
+                    action = int(rng.integers(0, 3))
+                    if action == 0:
+                        free = [
+                            x for x in range(512) if not network.graph.has_node(x)
+                        ]
+                        network.join(free[int(rng.integers(0, len(free)))])
+                    elif action == 1 and len(live) > 4:
+                        network.leave(live[int(rng.integers(0, len(live)))])
+                    elif len(live) > 4:
+                        network.crash(live[int(rng.integers(0, len(live)))])
+                    mirror.apply(recorder.drain())
+                    snapshots.append(mirror.snapshot())
+            recorder.detach()
+            return snapshots
+
+        plain = churn_and_snapshot(collect=False)
+        observed = churn_and_snapshot(collect=True)
+        assert len(plain) == len(observed)
+        for index, (a, b) in enumerate(zip(plain, observed)):
+            assert_snapshots_identical(a, b, context=f"step {index}")

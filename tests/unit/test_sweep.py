@@ -86,6 +86,34 @@ class TestSweepExecution:
         path = result.save(tmp_path / "sweep.json")
         assert SweepResult.load(path).to_json() == result.to_json()
 
+    def test_save_load_preserves_cell_timings(self, tmp_path):
+        """Saved sweeps keep wall-clock seconds in the ``timings`` side table.
+
+        The deterministic cell payload still excludes timing (so parallel and
+        serial files stay comparable), but :meth:`SweepResult.load` restores
+        every cell's measured seconds — a resumed sweep must not lose them.
+        """
+        import json
+
+        result = tiny_sweep().run(jobs=1)
+        originals = {cell.key: cell.result.seconds for cell in result.cells}
+        assert all(seconds is not None for seconds in originals.values())
+
+        path = result.save(tmp_path / "sweep.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["timings"] == pytest.approx(originals)
+        # The cells themselves stay deterministic: no inline timing.
+        assert all("seconds" not in cell["result"] for cell in data["cells"])
+
+        loaded = SweepResult.load(path)
+        for cell in loaded.cells:
+            assert cell.result.seconds == pytest.approx(originals[cell.key])
+
+        # Resuming from the loaded file reuses every cell *with* its timing.
+        resumed = tiny_sweep().run(jobs=1, resume=loaded)
+        for cell in resumed.cells:
+            assert cell.result.seconds == pytest.approx(originals[cell.key])
+
     def test_resume_reuses_cells(self):
         sweep = tiny_sweep()
         first = sweep.run(jobs=1)

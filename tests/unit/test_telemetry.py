@@ -1,0 +1,283 @@
+"""Unit tests for the telemetry subsystem (spans, metrics, bench gate)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    BENCH_SCHEMA,
+    Histogram,
+    Telemetry,
+    diff_bench,
+    extract_metrics,
+    load_bench,
+    metric_direction,
+    render_bench_diff,
+    render_telemetry,
+    summarize_values,
+    write_bench_result,
+)
+from repro.telemetry.core import TELEMETRY_SCHEMA
+
+
+class TestCountersAndGauges:
+    def test_counter_increments(self):
+        tel = Telemetry()
+        tel.count("route.rounds")
+        tel.count("route.rounds", 4)
+        assert tel.counters["route.rounds"].value == 5
+
+    def test_gauge_tracks_envelope(self):
+        tel = Telemetry()
+        for value in (3.0, 1.0, 7.0):
+            tel.gauge("frontier", value)
+        gauge = tel.gauges["frontier"]
+        assert (gauge.value, gauge.min, gauge.max) == (7.0, 1.0, 7.0)
+
+
+class TestHistogram:
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [3.0, 1.0])
+
+    def test_exact_sidecars(self):
+        hist = Histogram("h", [1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(555.5)
+        assert (hist.min, hist.max) == (0.5, 500.0)
+        assert hist.bucket_counts == [1, 1, 1, 1]  # one overflow slot
+
+    def test_record_many_matches_scalar_records(self):
+        values = np.linspace(0.1, 300.0, 257)
+        one_by_one = Histogram("a", telemetry.MS_BUCKETS)
+        for value in values:
+            one_by_one.record(value)
+        bulk = Histogram("b", telemetry.MS_BUCKETS)
+        bulk.record_many(values)
+        assert bulk.bucket_counts == one_by_one.bucket_counts
+        assert bulk.count == one_by_one.count
+        assert bulk.total == pytest.approx(one_by_one.total)
+
+    def test_quantile_clamps_to_observed_range(self):
+        hist = Histogram("h", [10.0, 100.0])
+        hist.record(42.0)
+        assert hist.quantile(0.5) == 42.0
+        assert hist.quantile(1.0) == 42.0
+        assert hist.quantile(0.01) == 42.0
+
+    def test_empty_quantile_and_mean(self):
+        hist = Histogram("h", [1.0])
+        assert hist.mean() == 0.0
+        assert hist.quantile(0.5) == 0.0
+
+
+class TestSpans:
+    def test_nested_spans_build_a_tree(self):
+        tel = Telemetry()
+        with tel.span("build"):
+            pass
+        with tel.span("compile"):
+            with tel.span("refresh"):
+                pass
+            with tel.span("refresh"):
+                pass
+        dump = tel.to_dict()
+        assert dump["schema"] == TELEMETRY_SCHEMA
+        assert dump["spans"]["build"]["count"] == 1
+        compile_node = dump["spans"]["compile"]
+        assert compile_node["count"] == 1
+        assert compile_node["children"]["refresh"]["count"] == 2
+
+    def test_reentry_accumulates_instead_of_growing(self):
+        tel = Telemetry()
+        for _ in range(100):
+            with tel.span("route"):
+                pass
+        assert tel.root.children["route"].count == 100
+        assert len(tel.root.children) == 1
+
+    def test_spanned_decorator_is_transparent_when_disabled(self):
+        calls = []
+
+        @telemetry.spanned("work")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert telemetry.current() is None
+        assert work(21) == 42
+        with telemetry.session() as tel:
+            assert work(2) == 4
+            assert tel.root.children["work"].count == 1
+        assert calls == [21, 2]
+
+
+class TestSessionLifecycle:
+    def test_session_installs_and_removes(self):
+        assert telemetry.current() is None
+        with telemetry.session() as tel:
+            assert telemetry.current() is tel
+        assert telemetry.current() is None
+
+    def test_sessions_nest_and_restore(self):
+        with telemetry.session() as outer:
+            outer.count("outer")
+            with telemetry.session() as inner:
+                assert telemetry.current() is inner
+                inner.count("inner")
+            assert telemetry.current() is outer
+        assert "inner" not in outer.counters
+        assert outer.counters["outer"].value == 1
+
+    def test_enable_disable(self):
+        tel = telemetry.enable()
+        try:
+            assert telemetry.current() is tel
+        finally:
+            telemetry.disable()
+        assert telemetry.current() is None
+
+
+class TestRender:
+    def test_render_covers_every_section(self):
+        with telemetry.session() as tel:
+            with tel.span("route"):
+                pass
+            tel.count("route.rounds", 3)
+            tel.gauge("live_nodes", 100.0)
+            tel.observe("route.batch_ms", 1.5)
+        text = tel.render()
+        assert "phase tree" in text
+        assert "route" in text
+        assert "route.rounds" in text
+        assert "live_nodes" in text
+        assert "route.batch_ms" in text
+        # render() over the raw dict is the same path the CLI uses.
+        assert render_telemetry(tel.to_dict()) == text
+
+
+class TestSummarizeValues:
+    def test_matches_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        summary = summarize_values(values, percentiles=(50, 95))
+        assert summary["mean"] == pytest.approx(np.mean(values))
+        assert summary["p50"] == pytest.approx(np.median(values))
+        assert summary["p95"] == pytest.approx(np.percentile(values, 95))
+
+    def test_empty_is_all_zero(self):
+        assert summarize_values([], percentiles=(50,)) == {"mean": 0.0, "p50": 0.0}
+
+
+def _bench_result(route_seconds: float, qps: float):
+    from repro.experiments.runner import ExperimentTable
+    from repro.scenarios import RunResult, ScenarioSpec, TopologySpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        scenario="bench-fastpath",
+        topology=TopologySpec(kind="ideal", nodes=256),
+        workload=WorkloadSpec(searches=100),
+        engine="fastpath",
+        seed=1,
+    )
+    table = ExperimentTable(title="engine comparison", columns=["metric", "value"])
+    table.add_row("fastpath_route_seconds", route_seconds)
+    table.add_row("fastpath_qps", qps)
+    table.add_row("nodes", 256)
+    return RunResult(
+        scenario="bench-fastpath",
+        spec=spec,
+        engine_requested="fastpath",
+        engine_used="fastpath",
+        tables=[table],
+        seconds=route_seconds,
+    )
+
+
+class TestBenchArtifacts:
+    def test_write_stamps_schema_and_embeds_telemetry(self, tmp_path):
+        path = write_bench_result(
+            _bench_result(0.5, 200.0),
+            tmp_path / "bench.json",
+            telemetry={"schema": TELEMETRY_SCHEMA, "counters": {"route.rounds": 3}},
+        )
+        data = load_bench(path)
+        assert data["bench_schema"] == BENCH_SCHEMA
+        assert data["telemetry"]["counters"]["route.rounds"] == 3
+        # The envelope stays a loadable RunResult for every other consumer.
+        from repro.scenarios import RunResult
+
+        restored = RunResult.from_json_dict(data)
+        assert restored.scenario == "bench-fastpath"
+
+    def test_load_rejects_non_bench_files(self, tmp_path):
+        path = tmp_path / "not-bench.json"
+        path.write_text(json.dumps({"hello": 1}), encoding="utf-8")
+        with pytest.raises(ValueError, match="no tables"):
+            load_bench(path)
+
+    def test_metric_direction_classification(self):
+        assert metric_direction("fastpath_route_seconds") == "lower"
+        assert metric_direction("delta_ms_per_refresh") == "lower"
+        assert metric_direction("fastpath_qps") == "higher"
+        assert metric_direction("throughput_speedup") == "higher"
+        assert metric_direction("object_success_rate") == "higher"
+        assert metric_direction("nodes") == "neutral"
+        assert metric_direction("mean_hops") == "neutral"
+
+    def test_extract_metrics_qualifies_duplicates(self, tmp_path):
+        data = json.loads(_bench_result(0.5, 200.0).to_json())
+        data["tables"].append(dict(data["tables"][0], title="second table"))
+        metrics = extract_metrics(data)
+        assert "engine comparison::fastpath_qps" in metrics
+        assert "second table::fastpath_qps" in metrics
+        assert metrics["wall_clock_seconds"] == pytest.approx(0.5)
+
+
+class TestBenchDiff:
+    def test_regression_is_flagged_worst_first(self):
+        old = json.loads(_bench_result(1.0, 100.0).to_json())
+        new = json.loads(_bench_result(2.0, 52.0).to_json())
+        diffs = diff_bench(old, new)
+        by_name = {diff.name: diff for diff in diffs}
+        assert by_name["fastpath_route_seconds"].regression_pct == pytest.approx(100.0)
+        assert by_name["fastpath_qps"].regression_pct == pytest.approx(48.0)
+        assert by_name["nodes"].regression_pct is None  # neutral, never flagged
+        assert diffs[0].name == "fastpath_route_seconds"  # sorted worst-first
+
+    def test_improvement_is_negative(self):
+        old = json.loads(_bench_result(2.0, 100.0).to_json())
+        new = json.loads(_bench_result(1.0, 200.0).to_json())
+        diffs = {diff.name: diff for diff in diff_bench(old, new)}
+        assert diffs["fastpath_route_seconds"].regression_pct == pytest.approx(-50.0)
+        assert diffs["fastpath_qps"].regression_pct == pytest.approx(-100.0)
+        assert not any(diff.flagged for diff in diffs.values())
+
+    def test_render_marks_failures(self):
+        old = json.loads(_bench_result(1.0, 100.0).to_json())
+        new = json.loads(_bench_result(2.5, 99.0).to_json())
+        text = render_bench_diff(diff_bench(old, new), fail_over=50.0)
+        assert "FAIL" in text
+        assert "fastpath_route_seconds" in text
+
+    def test_cli_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        old_path = write_bench_result(_bench_result(1.0, 100.0), tmp_path / "old.json")
+        new_path = write_bench_result(_bench_result(1.6, 62.0), tmp_path / "new.json")
+
+        # A >= 50% regression fails the default gate ...
+        assert main(["bench-diff", str(old_path), str(new_path)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "regressed" in captured.err
+        # ... passes a generous threshold, and the no-change diff is clean.
+        assert main(["bench-diff", str(old_path), str(new_path), "--fail-over", "100"]) == 0
+        assert main(["bench-diff", str(old_path), str(old_path)]) == 0
