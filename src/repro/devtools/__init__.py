@@ -1,0 +1,40 @@
+"""Project-specific static analysis: the ``repro lint`` invariant linter.
+
+The repository's guarantees — engine parity, serial==parallel sweep
+byte-identity, telemetry on/off result identity — are *determinism
+contracts*.  Property tests enforce them dynamically; this package enforces
+their source-level preconditions statically, so a violation is caught at
+lint time instead of waiting for a seed to hit it.
+
+Layout:
+
+* :mod:`repro.devtools.findings` — the :class:`Finding` record and the JSON
+  report schema;
+* :mod:`repro.devtools.suppressions` — ``# repro: allow[RULE-ID]`` inline
+  suppression parsing and unused-suppression detection;
+* :mod:`repro.devtools.engine` — the file walker / rule driver;
+* :mod:`repro.devtools.rules` — the rule catalog (RPR001..RPR006);
+* :mod:`repro.devtools.reporters` — ``file:line`` text and JSON output;
+* :mod:`repro.devtools.cli` — the ``repro lint`` subcommand.
+
+Run it as ``repro lint [--format text|json] [--select/--ignore RULE]
+[PATHS]``; exit code 0 means clean, 1 means findings, 2 means usage error.
+"""
+
+from repro.devtools.engine import LintEngine, LintResult
+from repro.devtools.findings import LINT_SCHEMA, Finding
+from repro.devtools.rules import ALL_RULES, Rule, get_rule, rule_ids
+from repro.devtools.suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LINT_SCHEMA",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "Suppression",
+    "get_rule",
+    "parse_suppressions",
+    "rule_ids",
+]

@@ -1,0 +1,173 @@
+"""RPR005 — array hygiene in the fastpath hot modules.
+
+The fastpath's whole value proposition is staying vectorized; these are the
+patterns that quietly give it back:
+
+* ``np.append(...)`` anywhere — it copies the whole array per call; grow
+  into a preallocated buffer or collect then concatenate once;
+* accumulation via ``x = np.concatenate([... x ...])`` (also ``hstack`` /
+  ``vstack``) — the classic quadratic append loop in disguise;
+* a Python ``for`` loop (or comprehension) iterating an ndarray — directly
+  over an ``np.*`` call, or over a local assigned from one; iterating an
+  ndarray boxes every element into a NumPy scalar.  Iterating
+  ``arr.tolist()`` is the sanctioned fast form and is exempt;
+* ``.tolist()`` anywhere else on the hot path — an O(n) conversion that
+  usually marks scalar code about to happen.  Exempt inside f-strings and
+  ``raise`` statements (error messages are cold by definition); justified
+  remaining uses carry a ``# repro: allow[RPR005]`` with their reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ImportMap, LintModule, Rule, iter_calls
+
+__all__ = ["ArrayHygieneRule"]
+
+_CONCAT_FUNCS = frozenset({"numpy.concatenate", "numpy.hstack", "numpy.vstack"})
+
+
+def _unwrap_iterable(node: ast.expr) -> ast.expr:
+    """See through set()/sorted()/list()/tuple() wrappers around an iterable."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "sorted", "list", "tuple"}
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _is_tolist(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "tolist"
+    )
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+class ArrayHygieneRule(Rule):
+    id = "RPR005"
+    name = "array-hygiene"
+    description = (
+        "fastpath hot modules: no np.append, no concatenate-accumulation, no "
+        "Python loops over ndarrays, no hot-path .tolist() (error messages "
+        "and tolist-to-iterate are exempt)"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("src/repro/fastpath")
+
+    def check_module(self, module: LintModule) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+
+        def resolved_np(call: ast.Call) -> str | None:
+            name = imports.resolve_call(call)
+            if name and name.startswith("numpy."):
+                return name
+            return None
+
+        # Locals assigned from np.* calls, per enclosing function — the
+        # cheap dataflow that catches `rows = np.flatnonzero(...); for r in rows:`.
+        array_locals: dict[ast.AST | None, set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if resolved_np(node.value):
+                    scope = module.enclosing_function(node)
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            array_locals.setdefault(scope, set()).add(target.id)
+
+        exempt_tolist: set[ast.Call] = set()
+        for node in ast.walk(module.tree):
+            # tolist-to-iterate: `for x in arr.tolist():` (possibly wrapped
+            # in set()/sorted()) is the sanctioned fast iteration form.
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(generator.iter for generator in node.generators)
+            for iterable in iterables:
+                unwrapped = _unwrap_iterable(iterable)
+                if _is_tolist(unwrapped):
+                    exempt_tolist.add(unwrapped)
+            # Cold contexts: f-strings and raise statements.
+            if isinstance(node, (ast.JoinedStr, ast.Raise)):
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Call) and _is_tolist(child):
+                        exempt_tolist.add(child)
+
+        for call in iter_calls(module.tree):
+            resolved = resolved_np(call)
+            if resolved == "numpy.append":
+                yield module.finding(
+                    self.id,
+                    call,
+                    "np.append copies the whole array per call — preallocate or "
+                    "collect parts and concatenate once",
+                )
+            elif resolved in _CONCAT_FUNCS:
+                assign = module.parents().get(call)
+                while isinstance(assign, (ast.Call, ast.expr)):
+                    assign = module.parents().get(assign)
+                if isinstance(assign, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        assign.targets if isinstance(assign, ast.Assign) else [assign.target]
+                    )
+                    target_names = {
+                        target.id for target in targets if isinstance(target, ast.Name)
+                    }
+                    if isinstance(assign, ast.AugAssign) or (
+                        target_names & _names_in(call)
+                    ):
+                        short = resolved.rsplit(".", 1)[-1]
+                        yield module.finding(
+                            self.id,
+                            call,
+                            f"quadratic accumulation: reassigning a name with "
+                            f"np.{short} of itself copies everything each "
+                            "iteration — collect parts and concatenate once",
+                        )
+            elif _is_tolist(call) and call not in exempt_tolist:
+                yield module.finding(
+                    self.id,
+                    call,
+                    ".tolist() on the hot path is an O(n) conversion — keep the "
+                    "computation vectorized (f-string/raise error messages and "
+                    "tolist-to-iterate loops are exempt)",
+                )
+
+        for node in ast.walk(module.tree):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(generator.iter for generator in node.generators)
+            for iterable in iterables:
+                unwrapped = _unwrap_iterable(iterable)
+                if isinstance(unwrapped, ast.Call) and resolved_np(unwrapped):
+                    yield module.finding(
+                        self.id,
+                        unwrapped,
+                        f"Python loop over `{resolved_np(unwrapped)}` result iterates an "
+                        "ndarray element by element — vectorize, or iterate "
+                        "`.tolist()` if a scalar loop is unavoidable",
+                    )
+                elif isinstance(unwrapped, ast.Name):
+                    scope = module.enclosing_function(node)
+                    if unwrapped.id in array_locals.get(scope, set()):
+                        yield module.finding(
+                            self.id,
+                            unwrapped,
+                            f"Python loop over ndarray `{unwrapped.id}` iterates it "
+                            "element by element — vectorize, or iterate "
+                            "`.tolist()` if a scalar loop is unavoidable",
+                        )

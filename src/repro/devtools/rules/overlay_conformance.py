@@ -1,0 +1,160 @@
+"""RPR006 — Overlay implementations must define the full protocol statically.
+
+``isinstance(obj, Overlay)`` (a runtime-checkable Protocol) only checks
+member *presence at runtime*, and only when something actually performs the
+check — a topology missing ``fail_fraction`` routes fine until the first
+failure sweep touches it.  This rule closes that gap statically:
+
+* the required surface is parsed from the ``Overlay`` Protocol class in
+  ``src/repro/overlay/protocol.py`` (single source of truth; a baked-in
+  fallback list keeps the rule usable on fixture projects);
+* any class that exposes ``compile_snapshot`` — by defining it or
+  inheriting it from a repo base such as ``OverlayMixin`` — is claiming to
+  be an Overlay, and must resolve every protocol member through its own
+  body (methods, class attributes, properties, or ``self.x = ...``
+  assignments) or its repo-local base classes.
+
+The partial bases themselves (``repro/overlay/``) are exempt: the mixin
+deliberately leaves ``space`` and the neighbour table to each protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import LintModule, LintProject, Rule
+
+__all__ = ["OverlayConformanceRule"]
+
+#: Fallback protocol surface, used when overlay/protocol.py is not in the
+#: linted tree (kept in sync by the unit tests against the parsed form).
+FALLBACK_MEMBERS = (
+    "space",
+    "labels",
+    "is_alive",
+    "neighbors_of",
+    "fail_node",
+    "fail_fraction",
+    "repair",
+    "route",
+    "compile_snapshot",
+)
+
+_PROTOCOL_PATH = "src/repro/overlay/protocol.py"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    path: str
+    line: int
+    bases: tuple[str, ...]
+    members: set[str] = field(default_factory=set)
+
+
+def _class_members(node: ast.ClassDef) -> set[str]:
+    """Every member a class body defines, including ``self.x = ...``."""
+    members: set[str] = set()
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            members.add(statement.name)
+            for inner in ast.walk(statement):
+                if isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            members.add(target.attr)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    members.add(target.id)
+        elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            members.add(statement.target.id)
+    return members
+
+
+class OverlayConformanceRule(Rule):
+    id = "RPR006"
+    name = "overlay-conformance"
+    description = (
+        "classes used as Overlay (anything exposing compile_snapshot) must "
+        "statically define the full protocol surface instead of relying on "
+        "runtime isinstance checks"
+    )
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _ClassInfo] = {}
+        self._protocol_members: tuple[str, ...] | None = None
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("src")
+
+    def check_module(self, module: LintModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+                for base in node.bases
+            )
+            info = _ClassInfo(
+                name=node.name,
+                path=module.path,
+                line=node.lineno,
+                bases=bases,
+                members=_class_members(node),
+            )
+            # Simple-name keying: last definition wins, which is fine for a
+            # repo that keeps class names unique (and errs towards silence).
+            self._classes[node.name] = info
+            if module.path == _PROTOCOL_PATH and node.name == "Overlay":
+                self._protocol_members = tuple(
+                    member for member in sorted(info.members) if not member.startswith("_")
+                )
+        return ()
+
+    def _resolved_members(self, info: _ClassInfo, seen: set[str]) -> set[str]:
+        members = set(info.members)
+        for base in info.bases:
+            if base in seen:
+                continue
+            seen.add(base)
+            base_info = self._classes.get(base)
+            if base_info is not None:
+                members |= self._resolved_members(base_info, seen)
+        return members
+
+    def finalize(self, project: LintProject) -> Iterable[Finding]:
+        required = self._protocol_members or FALLBACK_MEMBERS
+        for info in self._classes.values():
+            if info.path.startswith("src/repro/overlay/"):
+                continue  # the protocol and the partial mixin bases themselves
+            if "Protocol" in info.bases:
+                continue
+            resolved = self._resolved_members(info, {info.name})
+            if "compile_snapshot" not in resolved:
+                continue
+            missing = [member for member in required if member not in resolved]
+            if missing:
+                yield Finding(
+                    path=info.path,
+                    line=info.line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"class `{info.name}` exposes compile_snapshot (claims the "
+                        "Overlay protocol) but does not statically define: "
+                        + ", ".join(missing)
+                        + " — define them (or inherit a repo base that does) "
+                        "rather than relying on runtime isinstance checks"
+                    ),
+                )

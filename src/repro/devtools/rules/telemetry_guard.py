@@ -1,0 +1,184 @@
+"""RPR003 — hot-path telemetry must use the single-``current()``-fetch guard.
+
+The telemetry design rule is *disabled is the default and costs nothing
+measurable*: hot code fetches the active context once
+(``tel = telemetry.current()``) and guards every record with a plain
+``None`` check.  In the hot modules (``fastpath/`` and ``core/``) this rule
+flags:
+
+* record/span calls made directly on an attribute chain
+  (``telemetry.current().count(...)`` — a second fetch per record);
+* record/span calls on a fetched session variable that are not dominated by
+  a ``None`` guard — either an enclosing ``if tel is not None:`` /
+  ``if tel:`` (including ``and``-conjunctions), a guarding conditional
+  expression, or an earlier ``if tel is None: return/raise/continue/break``
+  early exit in the same statement block.
+
+The property suite proves results are bit-identical with telemetry on or
+off; this rule pins the *cost* side of that contract at the source level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ImportMap, LintModule, Rule
+
+__all__ = ["TelemetryGuardRule"]
+
+_RECORD_METHODS = frozenset(
+    {"count", "gauge", "observe", "observe_many", "histogram", "span"}
+)
+_FETCH_CALLS = {
+    "repro.telemetry.current",
+    "repro.telemetry.core.current",
+}
+
+
+def _is_terminating(statements: list[ast.stmt]) -> bool:
+    """Whether a block always leaves the enclosing scope/loop iteration."""
+    return bool(statements) and isinstance(
+        statements[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _test_narrows(test: ast.expr, name: str) -> bool:
+    """Whether ``test`` being true implies ``name`` is not None."""
+    if isinstance(test, ast.Name) and test.id == name:
+        return True
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        if isinstance(op, ast.IsNot):
+            if isinstance(left, ast.Name) and left.id == name:
+                return isinstance(right, ast.Constant) and right.value is None
+            if isinstance(right, ast.Name) and right.id == name:
+                return isinstance(left, ast.Constant) and left.value is None
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_test_narrows(value, name) for value in test.values)
+    return False
+
+
+def _test_is_none(test: ast.expr, name: str) -> bool:
+    """Whether ``test`` is exactly ``name is None``."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        if isinstance(op, ast.Is):
+            if isinstance(left, ast.Name) and left.id == name:
+                return isinstance(right, ast.Constant) and right.value is None
+            if isinstance(right, ast.Name) and right.id == name:
+                return isinstance(left, ast.Constant) and left.value is None
+    return False
+
+
+class TelemetryGuardRule(Rule):
+    id = "RPR003"
+    name = "zero-overhead-guard"
+    description = (
+        "telemetry records in fastpath/ and core/ hot modules must go through "
+        "one current() fetch guarded by a truthiness/None check — no repeated "
+        "current() attribute chains, no unguarded records"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("src/repro/fastpath") or module.in_dir("src/repro/core")
+
+    def check_module(self, module: LintModule) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        fetch_aliases = {
+            alias
+            for alias, target in imports.aliases.items()
+            if target in _FETCH_CALLS
+        }
+
+        def is_fetch(call: ast.AST) -> bool:
+            return isinstance(call, ast.Call) and (
+                imports.resolve_call(call) in _FETCH_CALLS
+                or (isinstance(call.func, ast.Name) and call.func.id in fetch_aliases)
+            )
+
+        # Session variables: every name ever assigned from a current() fetch.
+        session_names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and is_fetch(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        session_names.add(target.id)
+
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RECORD_METHODS
+            ):
+                continue
+            receiver = node.func.value
+            if is_fetch(receiver):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"telemetry `{node.func.attr}` called directly on a current() "
+                    "fetch — hot paths fetch the session once into a local and "
+                    "guard records with `if tel is not None`",
+                )
+                continue
+            if not (isinstance(receiver, ast.Name) and receiver.id in session_names):
+                continue
+            if not self._is_guarded(module, node, receiver.id):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"telemetry `{node.func.attr}` on `{receiver.id}` is not "
+                    "dominated by a None guard — wrap it in `if "
+                    f"{receiver.id} is not None:` (or an `if {receiver.id} is "
+                    "None: return` early exit) so the disabled path costs one "
+                    "truthiness check",
+                )
+
+    def _is_guarded(self, module: LintModule, call: ast.Call, name: str) -> bool:
+        parents = module.parents()
+        # (a) an enclosing `if` whose taken branch narrows the name, or a
+        # guarding conditional expression.
+        child: ast.AST = call
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.If) and _test_narrows(ancestor.test, name):
+                if child in ancestor.body or any(
+                    self._contains(statement, child) for statement in ancestor.body
+                ):
+                    return True
+            if isinstance(ancestor, ast.IfExp) and _test_narrows(ancestor.test, name):
+                if child is ancestor.body or self._contains(ancestor.body, child):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child = ancestor
+        # (b) an earlier `if name is None: <leave scope>` in any enclosing
+        # statement block before the call's statement.
+        statement: ast.AST = call
+        while statement in parents and not isinstance(statement, ast.stmt):
+            statement = parents[statement]
+        current: ast.AST = statement
+        while isinstance(current, ast.stmt) or current is statement:
+            parent = parents.get(current)
+            if parent is None:
+                break
+            for block in ("body", "orelse", "finalbody"):
+                siblings = getattr(parent, block, None)
+                if not isinstance(siblings, list) or current not in siblings:
+                    continue
+                for earlier in siblings[: siblings.index(current)]:
+                    if (
+                        isinstance(earlier, ast.If)
+                        and _test_is_none(earlier.test, name)
+                        and _is_terminating(earlier.body)
+                    ):
+                        return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                break
+            current = parent
+        return False
+
+    @staticmethod
+    def _contains(root: ast.AST, node: ast.AST) -> bool:
+        return any(candidate is node for candidate in ast.walk(root))

@@ -157,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_diff = subparsers.add_parser(
         "bench-diff",
-        help="compare two BENCH_*.json artifacts metric-by-metric and flag regressions",
+        help="compare two BENCH_*.json artifacts metric-by-metric and flag regressions "
+        "(exit 0: within threshold; exit 1: a directional metric regressed past --fail-over)",
     )
     bench_diff.add_argument("old", metavar="OLD.json", help="baseline BENCH artifact")
     bench_diff.add_argument("new", metavar="NEW.json", help="candidate BENCH artifact")
@@ -169,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any directional metric regresses by more "
         "than PCT percent (default: 50)",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant linter over src/tests/benchmarks "
+        "(exit 0: clean; exit 1: findings; exit 2: usage error)",
+    )
+    from repro.devtools.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     # -- legacy per-figure aliases ------------------------------------------
 
@@ -567,11 +577,18 @@ def _run_baselines(args) -> None:
     )
 
 
+def _run_lint(args) -> int:
+    from repro.devtools.cli import run_lint
+
+    return run_lint(args)
+
+
 _DISPATCH = {
     "list": _run_list,
     "run": _run_scenario,
     "sweep": _run_sweep,
     "bench-diff": _run_bench_diff,
+    "lint": _run_lint,
     "figure5": _run_figure5,
     "figure6": _run_figure6,
     "figure7": _run_figure7,
@@ -606,8 +623,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 def main_dispatch(args) -> int | None:
     """Dispatch a parsed namespace to its runner (used by the ``all`` command).
 
-    Returns the handler's exit code; most handlers return ``None`` (success),
-    ``bench-diff`` returns 1 when a metric regresses past ``--fail-over``.
+    Returns the handler's exit code; most handlers return ``None`` (success).
+    ``bench-diff`` returns 1 when a metric regresses past ``--fail-over``;
+    ``lint`` returns 1 on findings and 2 on usage errors.
     """
     return _DISPATCH[args.command](args)
 

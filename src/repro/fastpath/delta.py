@@ -324,6 +324,7 @@ class _Slab:
         count = self.counts[i]
         seg = self.data[off : off + count]
         try:
+            # repro: allow[RPR005] — list.index beats np.nonzero on tiny rows
             pos = seg.tolist().index(value)
         except ValueError:
             raise ValueError(
@@ -350,6 +351,7 @@ class _Slab:
         off = self.offsets[i]
         seg = self.data[off : off + self.counts[i]]
         try:
+            # repro: allow[RPR005] — list.index beats np.nonzero on tiny rows
             pos = seg.tolist().index(old)
         except ValueError:
             raise ValueError(
@@ -383,6 +385,7 @@ class _Slab:
 
     def _compact(self) -> None:
         """Rebuild the slab contiguously with fresh slack everywhere."""
+        # repro: allow[RPR005] — rare compaction; _Slab wants list-of-lists
         rows = [self.row(i).tolist() for i in range(len(self.counts))]
         rebuilt = _Slab(rows)
         self.offsets = rebuilt.offsets
@@ -678,6 +681,7 @@ class DeltaSnapshot:
         stale_right = np.isin(self._right, targets)
         self._left[stale_left] = -1
         self._right[stale_right] = -1
+        # repro: allow[RPR005] — the dirty set stores Python ints by contract
         self._dirty.update(np.flatnonzero(stale_left | stale_right).tolist())
 
     # ------------------------------------------------------------------ #
@@ -707,10 +711,12 @@ class DeltaSnapshot:
         tel = telemetry_current()
         if tel is None:
             return self._snapshot_impl()
+        # repro: allow[RPR001] — timing only reachable with telemetry on
         started = time.perf_counter()
         with tel.span("refresh"):
             snapshot = self._snapshot_impl()
         tel.count(f"refresh.strategy.{self._last_strategy}")
+        # repro: allow[RPR001] — timing only reachable with telemetry on
         tel.observe("refresh.ms", (time.perf_counter() - started) * 1e3)
         return snapshot
 

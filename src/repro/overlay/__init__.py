@@ -23,6 +23,8 @@ engine- and protocol-agnostic.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.overlay.mixin import OverlayMixin
 from repro.overlay.policy import (
     ChordGreedyPolicy,
@@ -34,7 +36,7 @@ from repro.overlay.policy import (
 from repro.overlay.protocol import PROTOCOLS, Overlay
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # OverlaySnapshot is FastpathSnapshot under its protocol-layer name;
     # resolved lazily because repro.fastpath imports repro.overlay.policy.
     if name == "OverlaySnapshot":

@@ -25,18 +25,23 @@ per-edge classes (Chord's finger/successor tiers).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.metric import MetricSpace
 from repro.core.routing import FailureReason, RouteResult
+from repro.overlay.policy import GreedyPolicy
 from repro.util.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fastpath imports us)
+    from repro.fastpath.snapshot import FastpathSnapshot
 
 __all__ = ["OverlayMixin", "apply_fail_fraction"]
 
 
 def apply_fail_fraction(
-    overlay,
+    overlay: Any,
     fraction: float,
     seed: int,
     protect: set[int] | None,
@@ -65,6 +70,10 @@ def apply_fail_fraction(
 
 class OverlayMixin:
     """Liveness, failures, scalar routing, and snapshot compilation."""
+
+    #: Supplied by the concrete overlay (typically dataclass fields).
+    space: MetricSpace
+    hop_limit: int
 
     #: Label of the RNG stream ``fail_fraction`` draws from; subclasses keep
     #: their historical stream names so seeded runs reproduce exactly.
@@ -139,7 +148,7 @@ class OverlayMixin:
     # Scalar routing
     # ------------------------------------------------------------------ #
 
-    def _point_of(self, label: int):
+    def _point_of(self, label: int) -> Any:
         """Map a label to its metric-space point (identity by default).
 
         Torus overlays override this with their coordinate decoding so the
@@ -213,7 +222,7 @@ class OverlayMixin:
         """The labels in ``label``'s routing table (protocol-specific)."""
         raise NotImplementedError
 
-    def greedy_policy(self):
+    def greedy_policy(self) -> GreedyPolicy:
         """The vectorized :class:`~repro.overlay.policy.GreedyPolicy`."""
         raise NotImplementedError
 
@@ -226,7 +235,7 @@ class OverlayMixin:
         for neighbor in self.neighbors_of(label):
             yield neighbor, 0
 
-    def compile_snapshot(self):
+    def compile_snapshot(self) -> "FastpathSnapshot":
         """Compile the topology + current liveness into an array snapshot.
 
         Per-vertex entry order equals the scalar rule's iteration order, so

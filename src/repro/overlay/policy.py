@@ -105,14 +105,14 @@ class MetricGreedyPolicy(GreedyPolicy):
             raise ValueError(f"kind must be 'ring' or 'line', got {self.kind!r}")
         object.__setattr__(self, "blocked", int(self.space_size) + 1)
 
-    def distance(self, a, b):
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Shorter-arc (ring) or absolute (line) distance."""
         diff = np.abs(a - b)
         if self.kind == "ring":
             return np.minimum(diff, self.space_size - diff)
         return diff
 
-    def displacement(self, source, target):
+    def displacement(self, source: np.ndarray, target: np.ndarray) -> np.ndarray:
         """Signed displacement matching the scalar metric spaces."""
         delta = target - source
         if self.kind == "ring":
@@ -122,9 +122,14 @@ class MetricGreedyPolicy(GreedyPolicy):
         return delta
 
     def candidate_keys(
-        self, current_labels, neighbor_labels, valid, target_labels, mode,
-        edge_class=None,
-    ):
+        self,
+        current_labels: np.ndarray,
+        neighbor_labels: np.ndarray,
+        valid: np.ndarray,
+        target_labels: np.ndarray,
+        mode: RoutingMode,
+        edge_class: np.ndarray | None = None,
+    ) -> np.ndarray:
         current_distance = self.distance(current_labels, target_labels)
         neighbor_distance = self.distance(neighbor_labels, target_labels[:, None])
         candidates = valid & (neighbor_distance < current_distance[:, None])
@@ -153,7 +158,7 @@ class TorusGreedyPolicy(GreedyPolicy):
     def __post_init__(self) -> None:
         object.__setattr__(self, "blocked", self.dimensions * self.side + 1)
 
-    def distance(self, a, b):
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Sum over axes of the per-coordinate wrap-around distance."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
@@ -165,9 +170,14 @@ class TorusGreedyPolicy(GreedyPolicy):
         return total
 
     def candidate_keys(
-        self, current_labels, neighbor_labels, valid, target_labels, mode,
-        edge_class=None,
-    ):
+        self,
+        current_labels: np.ndarray,
+        neighbor_labels: np.ndarray,
+        valid: np.ndarray,
+        target_labels: np.ndarray,
+        mode: RoutingMode,
+        edge_class: np.ndarray | None = None,
+    ) -> np.ndarray:
         current_distance = self.distance(current_labels, target_labels)
         neighbor_distance = self.distance(neighbor_labels, target_labels[:, None])
         candidates = valid & (neighbor_distance < current_distance[:, None])
@@ -190,7 +200,7 @@ class PrefixGreedyPolicy(GreedyPolicy):
     def __post_init__(self) -> None:
         object.__setattr__(self, "blocked", self.digits + 1)
 
-    def distance(self, a, b):
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Number of digit levels (powers of ``base``) where ``a != b``."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
@@ -201,9 +211,14 @@ class PrefixGreedyPolicy(GreedyPolicy):
         return total
 
     def candidate_keys(
-        self, current_labels, neighbor_labels, valid, target_labels, mode,
-        edge_class=None,
-    ):
+        self,
+        current_labels: np.ndarray,
+        neighbor_labels: np.ndarray,
+        valid: np.ndarray,
+        target_labels: np.ndarray,
+        mode: RoutingMode,
+        edge_class: np.ndarray | None = None,
+    ) -> np.ndarray:
         # Prefix disagreement is downward-closed (equal quotients at level j
         # imply equality at every higher level), so a neighbour is strictly
         # closer than the current node — at distance L from the target — iff
@@ -248,7 +263,7 @@ class ChordGreedyPolicy(GreedyPolicy):
     def __post_init__(self) -> None:
         object.__setattr__(self, "blocked", 2 * self.size + 3)
 
-    def distance(self, a, b):
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Clockwise distance ``(b - a) mod size`` (Chord's one-sided metric).
 
         Labels are grid points in ``[0, size)``, so one conditional add
@@ -260,9 +275,14 @@ class ChordGreedyPolicy(GreedyPolicy):
         return np.where(delta < 0, delta + self.size, delta)
 
     def candidate_keys(
-        self, current_labels, neighbor_labels, valid, target_labels, mode,
-        edge_class=None,
-    ):
+        self,
+        current_labels: np.ndarray,
+        neighbor_labels: np.ndarray,
+        valid: np.ndarray,
+        target_labels: np.ndarray,
+        mode: RoutingMode,
+        edge_class: np.ndarray | None = None,
+    ) -> np.ndarray:
         # Keys reach 2 * size + 2, so the compact label dtype is only safe
         # for rings up to 2^29 points; larger rings fall back to int64.
         neighbors = np.asarray(neighbor_labels)

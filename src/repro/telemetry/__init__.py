@@ -19,6 +19,14 @@ from repro.telemetry.bench import (
     render_bench_diff,
     write_bench_result,
 )
+from repro.telemetry.names import (
+    METRIC_NAMES,
+    MetricName,
+    find_metric,
+    metric_is_registered,
+    render_glossary,
+    update_glossary_block,
+)
 from repro.telemetry.core import (
     HOP_BUCKETS,
     MS_BUCKETS,
@@ -45,7 +53,9 @@ __all__ = [
     "Gauge",
     "HOP_BUCKETS",
     "Histogram",
+    "METRIC_NAMES",
     "MS_BUCKETS",
+    "MetricName",
     "POW2_BUCKETS",
     "SECONDS_BUCKETS",
     "SpanNode",
@@ -55,10 +65,14 @@ __all__ = [
     "disable",
     "enable",
     "extract_metrics",
+    "find_metric",
     "load_bench",
     "metric_direction",
+    "metric_is_registered",
     "render_bench_diff",
+    "render_glossary",
     "render_telemetry",
+    "update_glossary_block",
     "session",
     "spanned",
     "summarize_values",

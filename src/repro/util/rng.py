@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -99,15 +100,26 @@ class RandomSource:
 
     # -- convenience sampling primitives -------------------------------------
 
-    def integers(self, label: str, low: int, high: int, size: int | None = None):
-        """Sample uniform integers in ``[low, high)`` from the named stream."""
+    def integers(self, label: str, low: int, high: int, size: int | None = None) -> Any:
+        """Sample uniform integers in ``[low, high)`` from the named stream.
+
+        Returns a scalar when ``size`` is ``None``, else an ndarray (hence
+        the ``Any`` — numpy's own overloads decide).
+        """
         return self.stream(label).integers(low, high, size=size)
 
-    def random(self, label: str, size: int | None = None):
+    def random(self, label: str, size: int | None = None) -> Any:
         """Sample uniform floats in ``[0, 1)`` from the named stream."""
         return self.stream(label).random(size=size)
 
-    def choice(self, label: str, options, size: int | None = None, p=None, replace: bool = True):
+    def choice(
+        self,
+        label: str,
+        options: Sequence[Any] | np.ndarray,
+        size: int | None = None,
+        p: Sequence[float] | np.ndarray | None = None,
+        replace: bool = True,
+    ) -> Any:
         """Sample from ``options`` (optionally weighted by ``p``)."""
         return self.stream(label).choice(options, size=size, p=p, replace=replace)
 
@@ -115,6 +127,6 @@ class RandomSource:
         """Sample a Poisson variate with rate ``lam`` from the named stream."""
         return int(self.stream(label).poisson(lam))
 
-    def shuffle(self, label: str, values: list) -> None:
+    def shuffle(self, label: str, values: list[Any]) -> None:
         """Shuffle ``values`` in place using the named stream."""
         self.stream(label).shuffle(values)

@@ -281,3 +281,16 @@ class TestBenchDiff:
         # ... passes a generous threshold, and the no-change diff is clean.
         assert main(["bench-diff", str(old_path), str(new_path), "--fail-over", "100"]) == 0
         assert main(["bench-diff", str(old_path), str(old_path)]) == 0
+
+    def test_fail_over_boundary_is_strictly_greater(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        old_path = write_bench_result(_bench_result(1.0, 100.0), tmp_path / "old.json")
+        exact = write_bench_result(_bench_result(1.5, 100.0), tmp_path / "exact.json")
+        over = write_bench_result(_bench_result(1.52, 100.0), tmp_path / "over.json")
+
+        # A regression of exactly --fail-over percent still passes; the gate
+        # fires only strictly past the threshold.
+        assert main(["bench-diff", str(old_path), str(exact), "--fail-over", "50"]) == 0
+        assert main(["bench-diff", str(old_path), str(over), "--fail-over", "50"]) == 1
+        capsys.readouterr()
