@@ -1,0 +1,297 @@
+"""Benchmark: edge-liveness snapshot deltas vs full recompiles under link faults.
+
+The fault-injection layer extends the delta vocabulary with per-edge
+liveness: a burst of link failures (``OP_LINK_FAIL``) or repairs
+(``OP_LINK_REVIVE``) updates the compiled snapshot in place — slab flag
+flips plus a row splice on the structural tier — instead of paying a full
+O(n) ``compile_snapshot`` of the mutated graph.
+
+This benchmark drives the paper's link-failure model at paper scale — the
+ideal power-law network at 2^14 nodes, ~14 long links per node — through
+repeated fail/repair bursts (0.5% of all long links per burst), timing both refresh paths at every burst:
+
+* **delta path** — ``mirror.apply(recorder.drain())`` + ``mirror.snapshot()``
+  (flag flips land in the slab mirror; only dirty rows re-gather);
+* **recompile path** — ``compile_snapshot(graph)`` from scratch.
+
+Field identity between the two snapshots is asserted at *every* refresh,
+and the acceptance assert requires the delta path to be **>= 5x** faster
+overall.  A full :func:`~repro.faults.degradation_schedule` replay through
+:class:`~repro.faults.FaultDriver` (correlated link faults, crashes,
+targeted attacks, repair) is also timed end to end against the same mirror
+to show the whole fault vocabulary batching through one delta stream.
+
+Run with ``pytest benchmarks/benchmark_faults.py --benchmark-only -s`` or
+directly with ``python benchmarks/benchmark_faults.py``.  Results are
+written to ``BENCH_faults.json`` at the repository root as a scenario
+:class:`~repro.scenarios.RunResult`, extending the cross-PR performance
+trajectory next to ``BENCH_churn.json`` / ``BENCH_baselines.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # direct execution from a clean checkout
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.core.builder import build_ideal_network
+from repro.core.failures import LinkFailureModel
+from repro.faults import FaultDriver, degradation_schedule
+from repro.fastpath import (
+    BatchGreedyRouter,
+    DeltaRecorder,
+    DeltaSnapshot,
+    compile_snapshot,
+)
+from repro.fastpath.delta import assert_snapshots_identical
+from repro.simulation.workload import LookupWorkload
+from repro.telemetry import (
+    MS_BUCKETS,
+    current as telemetry_current,
+    session as telemetry_session,
+    write_bench_result,
+)
+
+NODES = 1 << 14
+FAIL_FRACTION = 0.005
+ROUNDS = 4
+SCHEDULE_INTENSITY = 0.1
+SEED = 1
+
+
+def run_faults_delta_benchmark(
+    nodes: int = NODES,
+    fail_fraction: float = FAIL_FRACTION,
+    rounds: int = ROUNDS,
+    schedule_intensity: float = SCHEDULE_INTENSITY,
+    seed: int = SEED,
+) -> dict:
+    """Run fail/repair link bursts, timing delta refreshes against recompiles.
+
+    Returns a stats dict; every refresh point's delta snapshot is asserted
+    field-identical to a fresh compile of the mutated graph before its
+    timing counts, so the speedup is only reported for *correct* updates.
+    """
+    build_started = time.perf_counter()
+    build = build_ideal_network(nodes, seed=seed)
+    build_seconds = time.perf_counter() - build_started
+    graph = build.graph
+    recorder = DeltaRecorder.attach(graph)
+    mirror = DeltaSnapshot.from_graph(graph)
+    mirror.snapshot()  # prime the splice state
+
+    long_links = graph.total_long_links(only_alive=True)
+    delta_seconds = 0.0
+    recompile_seconds = 0.0
+    refreshes = 0
+    total_ops = 0
+    failed_links = 0
+
+    def refresh(context: str):
+        nonlocal delta_seconds, recompile_seconds, refreshes, total_ops
+        delta = recorder.drain()
+        total_ops += len(delta)
+        started = time.perf_counter()
+        mirror.apply(delta)
+        updated = mirror.snapshot()
+        refresh_elapsed = time.perf_counter() - started
+        delta_seconds += refresh_elapsed
+
+        started = time.perf_counter()
+        fresh = compile_snapshot(graph)
+        recompile_elapsed = time.perf_counter() - started
+        recompile_seconds += recompile_elapsed
+        refreshes += 1
+
+        tel = telemetry_current()
+        if tel is not None:
+            tel.observe(
+                "bench.delta_refresh_ms", refresh_elapsed * 1e3, buckets=MS_BUCKETS
+            )
+            tel.observe(
+                "bench.recompile_ms", recompile_elapsed * 1e3, buckets=MS_BUCKETS
+            )
+        assert_snapshots_identical(updated, fresh, context=context)
+        return updated
+
+    degraded = None
+    for round_index in range(rounds):
+        model = LinkFailureModel(1.0 - fail_fraction, seed=seed + 10 + round_index)
+        summary = model.apply(graph)
+        failed_links += summary["failed_links"]
+        degraded = refresh(f"round {round_index} link-fail burst")
+        model.repair(graph)
+        refresh(f"round {round_index} link-repair burst")
+
+    # The degraded snapshot is live: batched routes over it equal scalar
+    # routes on the graph with the same links down.
+    from repro.core.routing import GreedyRouter
+
+    model = LinkFailureModel(1.0 - fail_fraction, seed=seed + 50)
+    model.apply(graph)
+    degraded = refresh("route-parity link-fail burst")
+    live = sorted(graph.labels(only_alive=True))
+    pairs = LookupWorkload(seed=seed + 2).pairs(live, 50)
+    batched = BatchGreedyRouter(degraded).route_pairs(pairs)
+    scalar = GreedyRouter(graph)
+    for index, (source, target) in enumerate(pairs):
+        reference = scalar.route(source, target)
+        assert bool(batched.success[index]) == reference.success
+        assert int(batched.hops[index]) == reference.hops
+    model.repair(graph)
+    refresh("route-parity link-repair burst")
+
+    # Whole-vocabulary showcase: a degradation schedule (correlated link
+    # faults, crashes, a targeted attack, repair) replayed end to end
+    # through one mirror, field identity checked after the final event.
+    schedule = degradation_schedule(schedule_intensity, seed=seed + 5)
+    started = time.perf_counter()
+    report = FaultDriver(build, schedule, mirror=mirror).run()
+    mirror.snapshot()
+    schedule_seconds = time.perf_counter() - started
+    assert_snapshots_identical(
+        mirror.snapshot(), compile_snapshot(graph), context="post-schedule"
+    )
+    recorder.detach()
+
+    return {
+        "nodes": nodes,
+        "long_links": long_links,
+        "fail_fraction": fail_fraction,
+        "rounds": rounds,
+        "failed_links": failed_links,
+        "delta_ops": total_ops,
+        "refreshes": refreshes,
+        "build_seconds": build_seconds,
+        "delta_seconds": delta_seconds,
+        "recompile_seconds": recompile_seconds,
+        "delta_ms_per_refresh": 1000.0 * delta_seconds / refreshes,
+        "recompile_ms_per_refresh": 1000.0 * recompile_seconds / refreshes,
+        "speedup": recompile_seconds / delta_seconds,
+        "schedule_events": len(report["events"]),
+        "schedule_ops": sum(report["ops"].values()),
+        "schedule_seconds": schedule_seconds,
+        "snapshots_identical": True,
+    }
+
+
+def check_speedup(stats: dict) -> None:
+    """The acceptance assertions: correct updates, >= 5x over recompiling."""
+    assert stats["snapshots_identical"]
+    assert stats["speedup"] >= 5.0, (
+        f"link-tier delta refresh speedup {stats['speedup']:.1f}x < 5x "
+        f"({stats['delta_ms_per_refresh']:.1f}ms vs "
+        f"{stats['recompile_ms_per_refresh']:.1f}ms per refresh)"
+    )
+
+
+def stats_to_run_result(stats: dict):
+    """Wrap the stats in a structured RunResult stamped with the degradation spec."""
+    from repro.experiments.runner import ExperimentTable
+    from repro.scenarios import RunResult
+    from repro.scenarios.degradation import degradation_spec
+
+    spec = degradation_spec(
+        nodes=stats["nodes"],
+        intensities=(stats["fail_fraction"],),
+        seed=SEED,
+        engine="fastpath",
+    )
+    table = ExperimentTable(
+        title=(
+            f"link-tier delta refresh vs full recompile @ {stats['nodes']} nodes, "
+            f"{stats['fail_fraction']:.1%} of links per burst"
+        ),
+        columns=["metric", "value"],
+        notes="a refresh = bring the batch engine up to date after a link "
+        "fail/repair burst; the delta path applies recorded edge-liveness "
+        "ops to the mirror and re-snapshots, the recompile path compiles "
+        "the object graph from scratch; snapshots are asserted "
+        "field-identical at every refresh.",
+    )
+    for key in sorted(stats):
+        table.add_row(key, stats[key])
+    return RunResult(
+        scenario="bench-faults",
+        spec=spec,
+        engine_requested="fastpath",
+        engine_used="fastpath",
+        tables=[table],
+        seconds=stats["delta_seconds"]
+        + stats["recompile_seconds"]
+        + stats["schedule_seconds"]
+        + stats["build_seconds"],
+    )
+
+
+def measure_faults_delta_benchmark(**kwargs) -> tuple[dict, dict]:
+    """Run the benchmark inside a telemetry session; return (stats, dump).
+
+    The dump carries the per-refresh latency histograms observed above plus
+    everything the instrumented layers record on their own (``faults.*``
+    event counters, ``refresh.ops.link_*``, ``route.*``).
+    """
+    with telemetry_session() as tel:
+        stats = run_faults_delta_benchmark(**kwargs)
+    return stats, tel.to_dict()
+
+
+def write_bench_artifact(
+    stats: dict, path: Path | None = None, telemetry: dict | None = None
+) -> Path:
+    """Write the RunResult JSON artifact (default: BENCH_faults.json at repo root)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    return write_bench_result(stats_to_run_result(stats), path, telemetry=telemetry)
+
+
+def _report(stats: dict) -> str:
+    return (
+        f"\nlink-fault delta refresh @ {stats['nodes']} nodes "
+        f"({stats['long_links']} long links, {stats['fail_fraction']:.1%} per "
+        f"burst, {stats['delta_ops']} recorded ops)\n"
+        f"  build {stats['build_seconds']:.1f}s\n"
+        f"  delta:     {stats['delta_ms_per_refresh']:7.1f} ms/refresh "
+        f"({stats['delta_seconds']:.2f}s over {stats['refreshes']} refreshes)\n"
+        f"  recompile: {stats['recompile_ms_per_refresh']:7.1f} ms/refresh "
+        f"({stats['recompile_seconds']:.2f}s)\n"
+        f"  speedup:   {stats['speedup']:.1f}x\n"
+        f"  degradation schedule: {stats['schedule_events']} events, "
+        f"{stats['schedule_ops']} ops in {stats['schedule_seconds']:.2f}s\n"
+        f"  snapshots field-identical at every refresh"
+    )
+
+
+def test_faults_delta_speedup(benchmark):
+    """Link-tier delta refreshes must be >= 5x faster than recompiling.
+
+    Always runs at the acceptance scale (2^14 nodes, 0.5% of links per burst)
+    — the assert is pinned there, so there is no reduced non-paper scale.
+    """
+    stats, telemetry = benchmark.pedantic(
+        measure_faults_delta_benchmark, rounds=1, iterations=1
+    )
+    print(_report(stats))
+    for key in (
+        "speedup", "delta_ms_per_refresh", "recompile_ms_per_refresh",
+        "delta_ops", "schedule_seconds",
+    ):
+        benchmark.extra_info[key] = stats[key]
+    artifact = write_bench_artifact(stats, telemetry=telemetry)
+    print(f"  artifact: {artifact}")
+    check_speedup(stats)
+
+
+if __name__ == "__main__":
+    result, run_telemetry = measure_faults_delta_benchmark()
+    print(_report(result))
+    artifact = write_bench_artifact(result, telemetry=run_telemetry)
+    print(f"  artifact: {artifact}")
+    check_speedup(result)
+    print("\nall assertions passed (>= 5x link-tier delta refresh, "
+          "field-identical snapshots)")

@@ -81,7 +81,12 @@ class ChordNetwork(OverlayMixin):
         return int(self._member_labels[index])
 
     def build_routing_tables(self) -> None:
-        """(Re)build every member's finger table and successor list."""
+        """(Re)build every member's finger table and successor list.
+
+        The scalar reference implementation; :meth:`build_routing_tables_batched`
+        produces identical tables with vectorized searchsorted sweeps and is
+        what :meth:`stabilize` uses.
+        """
         for label in self.members:
             fingers = []
             for i in range(self.bits):
@@ -96,6 +101,40 @@ class ChordNetwork(OverlayMixin):
                 if cursor == label:
                     break
             self._successors[label] = successors
+
+    def build_routing_tables_batched(self) -> None:
+        """Rebuild all tables as bulk array sweeps (identical to the scalar build).
+
+        Fingers: one ``searchsorted`` over the ``(n, bits)`` start matrix.
+        Successor lists: ``successor_list_length`` vectorized crawl steps,
+        each advancing every member's cursor at once; a member that wraps
+        back to itself deactivates (the scalar loop's ``break``).
+        """
+        labels = self._member_labels
+        n = int(labels.size)
+        size = self.size
+        starts = (labels[:, None] + (1 << np.arange(self.bits, dtype=np.int64))[None, :]) % size
+        idx = np.searchsorted(labels, starts)
+        idx[idx == n] = 0
+        finger_matrix = labels[idx]
+        finger_lists = finger_matrix.tolist()
+        self._fingers = dict(zip(labels.tolist(), finger_lists))
+
+        cursor = labels.copy()
+        active = np.ones(n, dtype=bool)
+        columns: list[np.ndarray] = []
+        for _ in range(self.successor_list_length):
+            idx = np.searchsorted(labels, (cursor + 1) % size)
+            idx[idx == n] = 0
+            step = labels[idx]
+            cursor = np.where(active, step, cursor)
+            columns.append(np.where(active, cursor, -1))
+            active &= cursor != labels
+        successor_matrix = np.stack(columns, axis=1) if columns else np.empty((n, 0), np.int64)
+        self._successors = {
+            int(label): [entry for entry in row if entry >= 0]
+            for label, row in zip(labels.tolist(), successor_matrix.tolist())
+        }
 
     # ------------------------------------------------------------------ #
     # Membership and failures (liveness ops come from OverlayMixin)
@@ -116,7 +155,7 @@ class ChordNetwork(OverlayMixin):
             return
         self.members = live
         self._init_members(live)
-        self.build_routing_tables()
+        self.build_routing_tables_batched()
 
     # ------------------------------------------------------------------ #
     # Routing (the scalar loop comes from OverlayMixin.route)
@@ -130,6 +169,8 @@ class ChordNetwork(OverlayMixin):
         for finger in self._fingers[current]:
             if finger == current or not self.is_alive(finger):
                 continue
+            if not self.link_is_alive(current, finger):
+                continue
             advance = self.space.clockwise_distance(current, finger)
             if 0 < advance <= remaining and advance > best_advance:
                 best = finger
@@ -138,6 +179,8 @@ class ChordNetwork(OverlayMixin):
             return best
         for successor in self._successors[current]:
             if successor == current or not self.is_alive(successor):
+                continue
+            if not self.link_is_alive(current, successor):
                 continue
             advance = self.space.clockwise_distance(current, successor)
             if 0 < advance <= remaining:

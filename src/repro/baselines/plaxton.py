@@ -103,6 +103,8 @@ class PlaxtonNetwork(OverlayMixin):
         following = self.label_from_digits(next_digits)
         if following == current or not self.is_alive(following):
             return None
+        if not self.link_is_alive(current, following):
+            return None
         return following
 
     def neighbors_of(self, label: int) -> list[int]:

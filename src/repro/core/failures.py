@@ -75,6 +75,7 @@ class LinkFailureModel(FailureModel):
 
     presence_probability: float
     seed: int = 0
+    #: (holder label, target label) pairs of the links the last apply failed.
     _failed: list[tuple[int, int]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -84,12 +85,14 @@ class LinkFailureModel(FailureModel):
         rng = spawn_rng(self.seed, "link-failures")
         self._failed.clear()
         total_links = 0
+        # One rng.random() per long link in graph iteration order — the draw
+        # sequence seeded experiments depend on; keep it if refactoring.
         for node in graph.nodes():
-            for index, link in enumerate(node.long_links):
+            for link in node.long_links:
                 total_links += 1
                 if rng.random() >= self.presence_probability:
-                    link.alive = False
-                    self._failed.append((node.label, index))
+                    if graph.fail_long_link(node.label, link.target):
+                        self._failed.append((node.label, link.target))
         return {
             "model": "link-failure",
             "presence_probability": self.presence_probability,
@@ -98,9 +101,9 @@ class LinkFailureModel(FailureModel):
         }
 
     def repair(self, graph: OverlayGraph) -> None:
-        for label, index in self._failed:
-            if graph.has_node(label) and index < len(graph.node(label).long_links):
-                graph.node(label).long_links[index].alive = True
+        for label, target in self._failed:
+            if graph.has_node(label):
+                graph.revive_long_link(label, target)
         self._failed.clear()
 
 

@@ -307,6 +307,36 @@ class OverlayGraph:
                 return True
         return False
 
+    def fail_long_link(self, source: int, target: int) -> bool:
+        """Disable one live long link ``source -> target``; return whether one was.
+
+        The link keeps its slot (so :meth:`revive_long_link` can restore it);
+        only its ``alive`` flag flips.  When several parallel links exist, the
+        first live one is flipped — observationally equivalent to flipping any
+        other, since parallel links are indistinguishable in routing.
+        """
+        node = self._nodes[source]
+        for link in node.long_links:
+            if link.target == target and link.alive:
+                link.alive = False
+                if self._observer is not None:
+                    self._observer.on_fail_long_link(source, target)
+                return True
+        return False
+
+    def revive_long_link(self, source: int, target: int) -> bool:
+        """Re-enable one dead long link ``source -> target``; return whether one was."""
+        node = self._nodes.get(source)
+        if node is None:
+            return False
+        for link in node.long_links:
+            if link.target == target and not link.alive:
+                link.alive = True
+                if self._observer is not None:
+                    self._observer.on_revive_long_link(source, target)
+                return True
+        return False
+
     def redirect_long_link(self, source: int, old_target: int, new_target: int) -> bool:
         """Redirect one existing long link to a new target (Section 5 heuristic).
 
@@ -344,6 +374,20 @@ class OverlayGraph:
             source
             for source, link in entries
             if (link.alive or not only_alive_links) and source in self._nodes
+        ]
+
+    def incoming_entries(self, label: int) -> list[tuple[int, bool]]:
+        """Return ``(source, link_alive)`` pairs for long links pointing at ``label``.
+
+        Like :meth:`incoming_sources` but keeps dead links (with their flag),
+        preserving the reverse-index order — the order delta mirrors must
+        reproduce to stay entry-for-entry identical to a fresh compile.
+        """
+        entries = self._incoming.get(label, [])
+        return [
+            (source, link.alive)
+            for source, link in entries
+            if source in self._nodes
         ]
 
     def neighbors_of(

@@ -31,7 +31,13 @@ from repro.core.failures import LinkFailureModel, NodeFailureModel
 from repro.core.metric import RingMetric
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
-from repro.fastpath import build_snapshot, sample_node_failures, select_engine
+from repro.fastpath import (
+    DeltaRecorder,
+    DeltaSnapshot,
+    build_snapshot,
+    sample_node_failures,
+    select_engine,
+)
 from repro.simulation.workload import LookupWorkload
 
 __all__ = ["Table1Result", "run_table1", "measure_mean_hops"]
@@ -167,6 +173,50 @@ def run_table1(
     return run(spec).raw
 
 
+def _link_failure_sweep(
+    graph,
+    probabilities,
+    searches: int,
+    recovery: RecoveryStrategy,
+    engine: str,
+    model_seed: int,
+    measure_seed: int,
+    add_row,
+) -> None:
+    """Sweep link-survival probabilities over one shared topology (rows 4/5).
+
+    Each level fails links with :class:`~repro.core.failures.LinkFailureModel`,
+    measures, and repairs.  Under ``engine="fastpath"`` the routing tables are
+    maintained through edge-liveness deltas: a recorder captures the model's
+    ``link_fail``/``link_revive`` flips and a delta mirror folds them into the
+    snapshot in place, so no level ever recompiles the topology.  Hop counts
+    are identical to the object engine at the same seed either way.
+    """
+    recorder = mirror = None
+    if select_engine(engine, recovery) == "fastpath":
+        recorder = DeltaRecorder.attach(graph)
+        mirror = DeltaSnapshot.from_graph(graph)
+    try:
+        for index, p in enumerate(probabilities):
+            model = LinkFailureModel(p, seed=model_seed + index)
+            model.apply(graph)
+            snapshot = None
+            if mirror is not None:
+                mirror.apply(recorder.drain())
+                snapshot = mirror.snapshot()
+            hops, failed = measure_mean_hops(
+                graph, searches, measure_seed + index,
+                recovery=recovery, engine=engine, snapshot=snapshot,
+            )
+            add_row(p, hops, failed)
+            model.repair(graph)
+        if mirror is not None:
+            mirror.apply(recorder.drain())
+    finally:
+        if recorder is not None:
+            recorder.detach()
+
+
 def _run_table1_impl(
     sizes: list[int] | None = None,
     link_counts: list[int] | None = None,
@@ -234,14 +284,13 @@ def _run_table1_impl(
         columns=["p_link_alive", "measured_hops", "failed_fraction", "bound_shape"],
     )
     base_build = build_ideal_network(failure_n, links_per_node=failure_links, seed=seed + 60)
-    for index, p in enumerate(probabilities):
-        model = LinkFailureModel(p, seed=seed + 70 + index)
-        model.apply(base_build.graph)
-        hops, failed = measure_mean_hops(base_build.graph, searches, seed + 80 + index, recovery=recovery, engine=engine)
-        link_failures_random.add_row(
+    _link_failure_sweep(
+        base_build.graph, probabilities, searches, recovery, engine,
+        model_seed=seed + 70, measure_seed=seed + 80,
+        add_row=lambda p, hops, failed: link_failures_random.add_row(
             p, hops, failed, bounds.upper_bound_link_failures_random(failure_n, failure_links, p)
-        )
-        model.repair(base_build.graph)
+        ),
+    )
 
     # Row 5: link failures, deterministic powers-of-b scheme — hops ~ b log n / p.
     deterministic_base = 2
@@ -256,15 +305,14 @@ def _run_table1_impl(
         space=RingMetric(failure_n), base=deterministic_base, variant="powers", seed=seed + 90
     )
     det_build = det_builder.build()
-    for index, p in enumerate(probabilities):
-        model = LinkFailureModel(p, seed=seed + 100 + index)
-        model.apply(det_build.graph)
-        hops, failed = measure_mean_hops(det_build.graph, searches, seed + 110 + index, recovery=recovery, engine=engine)
-        link_failures_det.add_row(
+    _link_failure_sweep(
+        det_build.graph, probabilities, searches, recovery, engine,
+        model_seed=seed + 100, measure_seed=seed + 110,
+        add_row=lambda p, hops, failed: link_failures_det.add_row(
             p, hops, failed,
             bounds.upper_bound_link_failures_deterministic(failure_n, deterministic_base, p),
-        )
-        model.repair(det_build.graph)
+        ),
+    )
 
     # Row 6: node failures after construction — hops ~ 1 / (1 - p).
     node_failures = ExperimentTable(

@@ -296,6 +296,7 @@ class BatchGreedyRouter:
     reroute_pool: object = None
     _pool_cache: tuple | None = field(default=None, repr=False, compare=False)
     _usable_cache: object = field(default=None, repr=False, compare=False)
+    _edge_valid_cache: object = field(default=None, repr=False, compare=False)
 
     @property
     def policy(self):
@@ -318,16 +319,41 @@ class BatchGreedyRouter:
         self.snapshot = snapshot
         self._usable_cache = None
         self._pool_cache = None
+        self._edge_valid_cache = None
+
+    def _valid_matrix(self, matrices) -> np.ndarray:
+        """The padding-validity matrix with dead *edges* masked out, cached.
+
+        With no ``edge_alive`` mask this is the plain padding mask; with one,
+        each dead table entry's dense slot is switched off — the node knows
+        its own table's health, so dead edges are excluded as candidates in
+        both knowledge regimes (exactly as the scalar rules skip them).
+        """
+        snapshot = self.snapshot
+        if snapshot.edge_alive is None:
+            return matrices[1]
+        if self._edge_valid_cache is None:
+            _dense, valid, _labels = matrices
+            edge_ok = valid.copy()
+            degrees = snapshot.degrees()
+            rows = np.repeat(np.arange(snapshot.num_nodes), degrees)
+            offsets = np.arange(snapshot.neighbor_indices.shape[0]) - np.repeat(
+                snapshot.neighbor_indptr[:-1], degrees
+            )
+            edge_ok[rows, offsets] = snapshot.edge_alive
+            self._edge_valid_cache = edge_ok
+        return self._edge_valid_cache
 
     def _usable_matrix(self, matrices) -> np.ndarray:
-        """Validity with dead neighbours masked out, cached per router.
+        """Edge-validity with dead neighbours also masked out, cached per router.
 
         The snapshot's ``alive`` mask is immutable, so in the lenient
         knowledge regime (dead candidates skipped) liveness can be folded
-        into the padding mask once instead of being re-gathered every hop.
+        into the validity mask once instead of being re-gathered every hop.
         """
         if self._usable_cache is None:
-            dense, valid, _ = matrices
+            dense, _valid, _ = matrices
+            valid = self._valid_matrix(matrices)
             alive = self.snapshot.alive
             self._usable_cache = valid & alive[np.where(valid, dense, 0)]
         return self._usable_cache
@@ -823,14 +849,15 @@ class BatchGreedyRouter:
         Returns ``(neighbors, valid, keyed, blocked)``: the dense neighbour
         rows of the queried vertices, the non-padding mask, the policy's key
         matrix (``>= blocked`` marks inadmissible candidates), and the
-        blocked sentinel in the key dtype.  Liveness is *not* applied here
-        unless the caller folds it into ``valid_matrix`` — the
-        knowledge-regime handling stays with the caller.
+        blocked sentinel in the key dtype.  *Node* liveness is not applied
+        here unless the caller folds it into ``valid_matrix`` (the
+        knowledge-regime handling stays with the caller); *edge* liveness
+        always is — a node never proposes a table entry it knows is down.
         """
         snapshot = self.snapshot
-        dense, padding_valid, label_matrix = matrices
+        dense, _padding_valid, label_matrix = matrices
         if valid_matrix is None:
-            valid_matrix = padding_valid
+            valid_matrix = self._valid_matrix(matrices)
         compact_labels = snapshot.labels_compact()
 
         neighbors = dense[current]  # (k, max_degree) vertex indices, -1 pad

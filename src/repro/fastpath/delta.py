@@ -35,14 +35,20 @@ Two tiers
 * **Structural tier** (:meth:`DeltaSnapshot.from_graph`) — for
   :class:`~repro.core.graph.OverlayGraph`-backed overlays in one-dimensional
   spaces (the paper's networks): supports the full event vocabulary.
-* **Liveness tier** (:meth:`DeltaSnapshot.from_snapshot`) — for *any*
-  compiled snapshot, including the baseline protocol overlays (Chord, CAN,
-  Kleinberg, Plaxton): crash/revive flips only; topology changes still
-  require a recompile (e.g. Chord's ``stabilize``).
+* **Liveness tier** (:meth:`DeltaSnapshot.from_snapshot` /
+  :meth:`DeltaSnapshot.from_overlay`) — for *any* compiled snapshot,
+  including the baseline protocol overlays (Chord, CAN, Kleinberg,
+  Plaxton): crash/revive flips, per-edge liveness flips
+  (``OP_LINK_FAIL``/``OP_LINK_REVIVE`` applied as mask scatters onto the
+  CSR validity arrays), and — when constructed :meth:`from_overlay` — bulk
+  table rebuilds (``OP_REBUILD``, e.g. Chord's ``stabilize``) expressed as
+  one recompile delta op instead of an out-of-band recompile.
 
-Known limitation: per-*link* failure flips (``LinkFailureModel``) mutate
-``LongLink.alive`` flags directly and are not observable; experiments that
-flip individual link liveness must recompile, exactly as before.
+Per-*link* failure flips (``LinkFailureModel``, fault schedules) are part of
+the vocabulary since PR 8: the structural tier tracks every link's alive
+flag in its slabs, and the liveness tier scatters them onto an
+``edge_alive`` mask, so link-failure experiments batch exactly like node
+churn.
 """
 
 from __future__ import annotations
@@ -100,6 +106,14 @@ def assert_snapshots_identical(
         and not np.array_equal(actual.edge_class, expected.edge_class)
     ):
         raise AssertionError(f"{prefix}edge_class differs")
+    if (expected.edge_alive is None) != (actual.edge_alive is None) or (
+        expected.edge_alive is not None
+        and (
+            actual.edge_alive.dtype != expected.edge_alive.dtype
+            or not np.array_equal(actual.edge_alive, expected.edge_alive)
+        )
+    ):
+        raise AssertionError(f"{prefix}edge_alive differs")
 
 
 # Op codes (first tuple element of every recorded operation).
@@ -111,6 +125,9 @@ OP_SET_RING = 4  # (op, label, left, right)   (-1 encodes None)
 OP_ADD_LINK = 5  # (op, source, target)
 OP_REMOVE_LINK = 6  # (op, source, target)
 OP_REDIRECT_LINK = 7  # (op, source, old_target, new_target)
+OP_LINK_FAIL = 8  # (op, holder, target)
+OP_LINK_REVIVE = 9  # (op, holder, target)
+OP_REBUILD = 10  # (op,)   — bulk table rebuild (e.g. Chord stabilize)
 
 _LIVENESS_OPS = frozenset({OP_FAIL, OP_REVIVE})
 
@@ -123,6 +140,9 @@ _OP_NAMES = {
     OP_ADD_LINK: "add_link",
     OP_REMOVE_LINK: "remove_link",
     OP_REDIRECT_LINK: "redirect_link",
+    OP_LINK_FAIL: "link_fail",
+    OP_LINK_REVIVE: "link_revive",
+    OP_REBUILD: "rebuild",
 }
 
 
@@ -228,13 +248,16 @@ class DeltaRecorder:
         self._ops.append((OP_ADD_LINK, source, target))
 
     def on_remove_long_link(self, source: int, target: int, alive: bool) -> None:
-        # Dead-flagged links are not part of the compiled adjacency, so their
-        # removal is invisible to the snapshot.
-        if alive:
-            self._ops.append((OP_REMOVE_LINK, source, target))
+        self._ops.append((OP_REMOVE_LINK, source, target))
 
     def on_redirect_long_link(self, source: int, old_target: int, new_target: int) -> None:
         self._ops.append((OP_REDIRECT_LINK, source, old_target, new_target))
+
+    def on_fail_long_link(self, source: int, target: int) -> None:
+        self._ops.append((OP_LINK_FAIL, source, target))
+
+    def on_revive_long_link(self, source: int, target: int) -> None:
+        self._ops.append((OP_LINK_REVIVE, source, target))
 
 
 class _Slab:
@@ -247,18 +270,26 @@ class _Slab:
     garbage exceeds half the live payload the slab compacts itself — the
     "periodic compaction" half of the insertion strategy.
 
+    Every entry carries a parallel boolean *flag* — the link's alive bit.
+    Rows keep dead entries in place (so link revival restores the original
+    slot order); :meth:`gather` filters to flag-``True`` entries, which is
+    what makes the materialized rows match a fresh compile's
+    live-links-only adjacency.
+
     The bookkeeping vectors are plain Python lists: the slab's mutation path
     is executed once per recorded op, and list indexing is several times
-    cheaper than NumPy scalar access; only the payload lives in one flat
-    NumPy array, which is what the vectorized materialization gathers from.
+    cheaper than NumPy scalar access; only the payload lives in flat NumPy
+    arrays, which is what the vectorized materialization gathers from.
     """
 
-    __slots__ = ("offsets", "counts", "caps", "data", "_tail", "_orphaned")
+    __slots__ = ("offsets", "counts", "caps", "data", "flags", "_tail", "_orphaned")
 
     #: Spare slots granted to every row at build/compaction time.
     SLACK = 4
 
-    def __init__(self, rows: list[list[int]]) -> None:
+    def __init__(
+        self, rows: list[list[int]], row_flags: list[list[bool]] | None = None
+    ) -> None:
         n = len(rows)
         counts = [len(row) for row in rows]
         caps = [count + self.SLACK for count in counts]
@@ -268,29 +299,42 @@ class _Slab:
             offsets[i] = running
             running += caps[i]
         data = np.zeros(running + max(64, running // 4), dtype=np.int64)
+        flags = np.ones(data.size, dtype=bool)
         for i, row in enumerate(rows):
             if row:
                 data[offsets[i] : offsets[i] + len(row)] = row
+                if row_flags is not None:
+                    flags[offsets[i] : offsets[i] + len(row)] = row_flags[i]
         self.offsets = offsets
         self.counts = counts
         self.caps = caps
         self.data = data
+        self.flags = flags
         self._tail = running
         self._orphaned = 0
 
     # -- queries -------------------------------------------------------------
 
     def row(self, i: int) -> np.ndarray:
-        """The live entries of row ``i`` (a view; do not mutate)."""
+        """All entries of row ``i``, dead included (a view; do not mutate)."""
         off = self.offsets[i]
         return self.data[off : off + self.counts[i]]
 
+    def row_flags(self, i: int) -> np.ndarray:
+        """The alive flags of row ``i``, parallel to :meth:`row`."""
+        off = self.offsets[i]
+        return self.flags[off : off + self.counts[i]]
+
     def total_count(self) -> int:
-        """Total number of live entries across all rows."""
+        """Total number of entries (dead included) across all rows."""
         return sum(self.counts)
 
     def gather(self, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flatten the rows of ``labels`` into (values, flat row ids, counts)."""
+        """Flatten the *live* rows of ``labels`` into (values, flat row ids, counts).
+
+        Dead-flagged entries are skipped, so the gathered rows equal what
+        ``compile_snapshot`` emits for the mirrored overlay.
+        """
         counts = np.fromiter(
             (self.counts[label] for label in labels), dtype=np.int64, count=labels.size
         )
@@ -299,39 +343,46 @@ class _Slab:
         )
         rows = np.repeat(np.arange(labels.size, dtype=np.int64), counts)
         positions = np.repeat(offsets, counts) + _within(counts)
-        return self.data[positions], rows, counts
+        live = self.flags[positions]
+        rows = rows[live]
+        counts = np.bincount(rows, minlength=labels.size).astype(np.int64)
+        return self.data[positions[live]], rows, counts
 
     # -- mutations -----------------------------------------------------------
 
-    def append(self, i: int, value: int) -> None:
+    def append(self, i: int, value: int, alive: bool = True) -> None:
         """Append ``value`` to row ``i``, relocating the row when full."""
         count = self.counts[i]
         if count == self.caps[i]:
             self._relocate(i, count)
-        self.data[self.offsets[i] + count] = value
+        slot = self.offsets[i] + count
+        self.data[slot] = value
+        self.flags[slot] = alive
         self.counts[i] = count + 1
 
-    def remove_first(self, i: int, value: int) -> None:
-        """Remove the first occurrence of ``value`` from row ``i``.
+    def remove_first(self, i: int, value: int, want: bool | None = None) -> bool:
+        """Remove the first occurrence of ``value`` from row ``i``; return its flag.
+
+        ``want`` restricts the match to entries whose flag equals it
+        (``None`` matches any flag) — link removal must drop the entry in the
+        same liveness state on both slab sides to keep them paired.
 
         Raises
         ------
         ValueError
-            If ``value`` is not present — the mirror has diverged from the
-            graph, which is always a bug worth failing loudly on.
+            If no matching entry is present — the mirror has diverged from
+            the graph, which is always a bug worth failing loudly on.
         """
         off = self.offsets[i]
         count = self.counts[i]
         seg = self.data[off : off + count]
-        try:
-            # repro: allow[RPR005] — list.index beats np.nonzero on tiny rows
-            pos = seg.tolist().index(value)
-        except ValueError:
-            raise ValueError(
-                f"slab row {i} has no entry {value}; delta mirror diverged"
-            ) from None
+        fseg = self.flags[off : off + count]
+        pos = self._find(seg, fseg, value, want, i)
+        flag = bool(fseg[pos])
         seg[pos : count - 1] = seg[pos + 1 : count]
+        fseg[pos : count - 1] = fseg[pos + 1 : count]
         self.counts[i] = count - 1
+        return flag
 
     def remove_all(self, i: int, value: int) -> int:
         """Remove every occurrence of ``value`` from row ``i``; return the count."""
@@ -343,21 +394,27 @@ class _Slab:
         removed = count - kept.size
         if removed:
             self.data[off : off + kept.size] = kept
+            self.flags[off : off + kept.size] = self.flags[off : off + count][keep]
             self.counts[i] = int(kept.size)
         return removed
 
     def replace_first(self, i: int, old: int, new: int) -> None:
-        """Replace the first occurrence of ``old`` in row ``i`` with ``new``."""
+        """Replace the first *live* occurrence of ``old`` in row ``i`` with ``new``."""
         off = self.offsets[i]
-        seg = self.data[off : off + self.counts[i]]
-        try:
-            # repro: allow[RPR005] — list.index beats np.nonzero on tiny rows
-            pos = seg.tolist().index(old)
-        except ValueError:
-            raise ValueError(
-                f"slab row {i} has no entry {old}; delta mirror diverged"
-            ) from None
+        count = self.counts[i]
+        seg = self.data[off : off + count]
+        fseg = self.flags[off : off + count]
+        pos = self._find(seg, fseg, old, True, i)
         seg[pos] = new
+
+    def set_flag_first(self, i: int, value: int, want: bool, new: bool) -> None:
+        """Flip the flag of the first occurrence of ``value`` with flag ``want``."""
+        off = self.offsets[i]
+        count = self.counts[i]
+        seg = self.data[off : off + count]
+        fseg = self.flags[off : off + count]
+        pos = self._find(seg, fseg, value, want, i)
+        fseg[pos] = new
 
     def clear_row(self, i: int) -> None:
         """Empty row ``i`` (its capacity stays reserved for reuse)."""
@@ -365,17 +422,37 @@ class _Slab:
 
     # -- internals -----------------------------------------------------------
 
+    @staticmethod
+    def _find(
+        seg: np.ndarray, fseg: np.ndarray, value: int, want: bool | None, i: int
+    ) -> int:
+        """First position of ``value`` (with flag ``want`` unless ``None``)."""
+        if want is None:
+            hits = np.flatnonzero(seg == value)
+        else:
+            hits = np.flatnonzero((seg == value) & (fseg == want))
+        if not hits.size:
+            raise ValueError(
+                f"slab row {i} has no entry {value}"
+                f"{'' if want is None else f' with alive={want}'}; "
+                "delta mirror diverged"
+            )
+        return int(hits[0])
+
     def _relocate(self, i: int, count: int) -> None:
         """Move a full row to the tail with doubled capacity."""
         new_cap = max(2 * count, count + self.SLACK)
         if self._tail + new_cap > self.data.size:
-            grown = np.zeros(
-                max(2 * self.data.size, self._tail + new_cap + 64), dtype=np.int64
-            )
+            size = max(2 * self.data.size, self._tail + new_cap + 64)
+            grown = np.zeros(size, dtype=np.int64)
             grown[: self._tail] = self.data[: self._tail]
+            grown_flags = np.ones(size, dtype=bool)
+            grown_flags[: self._tail] = self.flags[: self._tail]
             self.data = grown
+            self.flags = grown_flags
         old_off = self.offsets[i]
         self.data[self._tail : self._tail + count] = self.data[old_off : old_off + count]
+        self.flags[self._tail : self._tail + count] = self.flags[old_off : old_off + count]
         self.offsets[i] = self._tail
         self._orphaned += self.caps[i]
         self.caps[i] = new_cap
@@ -387,11 +464,14 @@ class _Slab:
         """Rebuild the slab contiguously with fresh slack everywhere."""
         # repro: allow[RPR005] — rare compaction; _Slab wants list-of-lists
         rows = [self.row(i).tolist() for i in range(len(self.counts))]
-        rebuilt = _Slab(rows)
+        # repro: allow[RPR005] — rare compaction; _Slab wants list-of-lists
+        row_flags = [self.row_flags(i).tolist() for i in range(len(self.counts))]
+        rebuilt = _Slab(rows, row_flags)
         self.offsets = rebuilt.offsets
         self.counts = rebuilt.counts
         self.caps = rebuilt.caps
         self.data = rebuilt.data
+        self.flags = rebuilt.flags
         self._tail = rebuilt._tail
         self._orphaned = 0
 
@@ -427,6 +507,12 @@ class DeltaSnapshot:
         # Liveness tier state.
         self._base: FastpathSnapshot | None = None
         self._mask_alive: np.ndarray | None = None
+        # Per-edge liveness mask aligned with the base CSR (lazily created on
+        # the first link flip; None means every edge is alive).
+        self._mask_edge_alive: np.ndarray | None = None
+        # The overlay behind a liveness-tier mirror (set by from_overlay);
+        # OP_REBUILD recompiles it in place of an out-of-band recompile.
+        self._source = None
         # Structural tier state (label-indexed arrays of size space_size).
         self.kind = ""
         self.space_size = 0
@@ -467,7 +553,8 @@ class DeltaSnapshot:
 
         The one-time cost equals a snapshot compile (one pass over the object
         graph); every subsequent event batch is an incremental
-        :meth:`apply`.  Dead-flagged long links are excluded, exactly as
+        :meth:`apply`.  Dead-flagged long links are mirrored with their
+        liveness flags and excluded from materialized rows, exactly as
         :func:`~repro.fastpath.snapshot.compile_snapshot` excludes them.
         """
         space = graph.space
@@ -490,7 +577,9 @@ class DeltaSnapshot:
         mirror._left = np.full(n, -1, dtype=np.int64)
         mirror._right = np.full(n, -1, dtype=np.int64)
         long_rows: list[list[int]] = [[] for _ in range(n)]
+        long_flags: list[list[bool]] = [[] for _ in range(n)]
         incoming_rows: list[list[int]] = [[] for _ in range(n)]
+        incoming_flags: list[list[bool]] = [[] for _ in range(n)]
         for node in graph.nodes():
             label = node.label
             mirror._occupied[label] = True
@@ -499,20 +588,25 @@ class DeltaSnapshot:
                 mirror._left[label] = node.left
             if node.right is not None:
                 mirror._right[label] = node.right
-            long_rows[label] = [link.target for link in node.long_links if link.alive]
+            long_rows[label] = [link.target for link in node.long_links]
+            long_flags[label] = [link.alive for link in node.long_links]
             # The incoming slab replicates the graph's reverse-index *order*
             # (link creation order), which is the compiled row order.
-            incoming_rows[label] = list(graph.incoming_sources(label))
-        mirror._long = _Slab(long_rows)
-        mirror._incoming = _Slab(incoming_rows)
+            entries = graph.incoming_entries(label)
+            incoming_rows[label] = [source for source, _alive in entries]
+            incoming_flags[label] = [alive for _source, alive in entries]
+        mirror._long = _Slab(long_rows, long_flags)
+        mirror._incoming = _Slab(incoming_rows, incoming_flags)
         return mirror
 
     @classmethod
     def from_snapshot(cls, snapshot: FastpathSnapshot) -> "DeltaSnapshot":
-        """Mirror any compiled snapshot for liveness-only deltas.
+        """Mirror any compiled snapshot for liveness deltas.
 
         Works for every Overlay protocol (the baselines included): crash and
-        revive events flip the alive mask; structural events raise.
+        revive events flip the alive mask, link fail/revive events flip the
+        per-edge mask; other structural events raise (use
+        :meth:`from_overlay` when the overlay also rebuilds its tables).
         """
         mirror = cls()
         mirror._base = snapshot
@@ -521,6 +615,21 @@ class DeltaSnapshot:
         mirror.space_size = snapshot.space_size
         mirror.symmetric_neighbors = snapshot.symmetric_neighbors
         mirror._structure_dirty = False
+        if snapshot.edge_alive is not None:
+            mirror._mask_edge_alive = snapshot.edge_alive.copy()
+        return mirror
+
+    @classmethod
+    def from_overlay(cls, overlay) -> "DeltaSnapshot":
+        """Mirror a table-based Overlay (liveness tier + ``OP_REBUILD``).
+
+        Like :meth:`from_snapshot` of ``overlay.compile_snapshot()``, but the
+        mirror keeps a handle on the overlay so ``OP_REBUILD`` deltas (bulk
+        table rebuilds such as Chord's ``stabilize``) can recompile it as
+        part of :meth:`apply` instead of forcing an out-of-band recompile.
+        """
+        mirror = cls.from_snapshot(overlay.compile_snapshot())
+        mirror._source = overlay
         return mirror
 
     @property
@@ -545,7 +654,14 @@ class DeltaSnapshot:
         tel = telemetry_current()
         if tel is not None and delta.ops:
             for kind, count in delta.counts().items():
-                tel.count(f"refresh.ops.{kind}", count)
+                # The link-liveness kinds are registered as literal names (the
+                # registry's placeholder segments never match literals).
+                if kind == "link_fail":
+                    tel.count("refresh.ops.link_fail", count)
+                elif kind == "link_revive":
+                    tel.count("refresh.ops.link_revive", count)
+                else:
+                    tel.count(f"refresh.ops.{kind}", count)
         if not self.structural:
             self._apply_mask(delta)
             return
@@ -578,18 +694,33 @@ class DeltaSnapshot:
                 dirty_add(op[2])
                 structural = True
             elif code == OP_REMOVE_LINK:
-                long_remove(op[1], op[2])
-                in_remove(op[2], op[1])
+                # Drop the entry in whatever liveness state it is in, and the
+                # paired incoming entry in the *same* state, so parallel
+                # links of mixed liveness stay correctly paired.
+                flag = long_remove(op[1], op[2], None)
+                in_remove(op[2], op[1], flag)
                 dirty_add(op[1])
                 dirty_add(op[2])
                 structural = True
             elif code == OP_REDIRECT_LINK:
                 long_slab.replace_first(op[1], op[2], op[3])
-                in_remove(op[2], op[1])
+                in_remove(op[2], op[1], True)
                 in_append(op[3], op[1])
                 dirty_add(op[1])
                 dirty_add(op[2])
                 dirty_add(op[3])
+                structural = True
+            elif code == OP_LINK_FAIL:
+                long_slab.set_flag_first(op[1], op[2], True, False)
+                in_slab.set_flag_first(op[2], op[1], True, False)
+                dirty_add(op[1])
+                dirty_add(op[2])
+                structural = True
+            elif code == OP_LINK_REVIVE:
+                long_slab.set_flag_first(op[1], op[2], False, True)
+                in_slab.set_flag_first(op[2], op[1], False, True)
+                dirty_add(op[1])
+                dirty_add(op[2])
                 structural = True
             elif code == OP_ADD_NODE:
                 label = op[1]
@@ -610,6 +741,11 @@ class DeltaSnapshot:
             elif code == OP_REMOVE_NODE:
                 self._remove_node(op[1])
                 structural = True
+            elif code == OP_REBUILD:
+                raise NotImplementedError(
+                    "structural-tier DeltaSnapshot has no table rebuild; "
+                    "OP_REBUILD applies to Overlay-backed liveness mirrors"
+                )
             else:  # pragma: no cover - recorder and apply share the op set
                 raise ValueError(f"unknown delta op code {code!r}")
         if self._pending_clears:
@@ -619,19 +755,64 @@ class DeltaSnapshot:
             self._structure_dirty = True
 
     def _apply_mask(self, delta: SnapshotDelta) -> None:
-        """Liveness-tier application: only crash/revive flips are legal."""
-        indices_of = self._base.indices_of
+        """Liveness-tier application: node flips, edge flips, and rebuilds.
+
+        Crash/revive flip the node mask; ``OP_LINK_FAIL``/``OP_LINK_REVIVE``
+        scatter onto a per-edge mask aligned with the base CSR (every
+        ``holder -> target`` entry flips — parallel links share their fate,
+        matching the table-based overlays' per-pair edge state);
+        ``OP_REBUILD`` recompiles the source overlay (``from_overlay``
+        mirrors only).  Other structural ops still require a recompile.
+        """
         for op in delta.ops:
             code = op[0]
             if code == OP_FAIL:
-                self._mask_alive[indices_of([op[1]])[0]] = False
+                self._mask_alive[self._base.indices_of([op[1]])[0]] = False
             elif code == OP_REVIVE:
-                self._mask_alive[indices_of([op[1]])[0]] = True
+                self._mask_alive[self._base.indices_of([op[1]])[0]] = True
+            elif code == OP_LINK_FAIL or code == OP_LINK_REVIVE:
+                holder, target = self._base.indices_of([op[1], op[2]])
+                indptr = self._base.neighbor_indptr
+                start, stop = int(indptr[holder]), int(indptr[holder + 1])
+                hits = np.flatnonzero(
+                    self._base.neighbor_indices[start:stop] == target
+                )
+                if not hits.size:
+                    raise ValueError(
+                        f"snapshot row {op[1]} has no edge to {op[2]}; "
+                        "delta mirror diverged"
+                    )
+                self._edge_mask()[start + hits] = code == OP_LINK_REVIVE
+            elif code == OP_REBUILD:
+                if self._source is None:
+                    raise NotImplementedError(
+                        "OP_REBUILD needs an overlay-backed mirror; construct "
+                        "with DeltaSnapshot.from_overlay(overlay)"
+                    )
+                self._base = self._source.compile_snapshot()
+                self._mask_alive = self._base.alive.copy()
+                self._mask_edge_alive = (
+                    None
+                    if self._base.edge_alive is None
+                    else self._base.edge_alive.copy()
+                )
             else:
                 raise NotImplementedError(
                     f"liveness-tier DeltaSnapshot cannot apply {_OP_NAMES[op[0]]!r}; "
                     "recompile the overlay for structural changes"
                 )
+
+    def _edge_mask(self) -> np.ndarray:
+        """The per-edge alive mask, created on first use (liveness tier)."""
+        if self._mask_edge_alive is None:
+            base = self._base.edge_alive
+            if base is not None:
+                self._mask_edge_alive = base.copy()
+            else:
+                self._mask_edge_alive = np.ones(
+                    self._base.neighbor_indices.shape[0], dtype=bool
+                )
+        return self._mask_edge_alive
 
     def crash(self, labels) -> None:
         """Convenience bulk crash (both tiers): flip the labels' alive bits off.
@@ -656,9 +837,12 @@ class DeltaSnapshot:
         long_slab = self._long
         in_slab = self._incoming
         dirty = self._dirty
-        # Drop the departing node's outgoing links from the reverse index.
-        for target in long_slab.row(label).tolist():
-            in_slab.remove_first(target, label)
+        # Drop the departing node's outgoing links from the reverse index,
+        # each paired with its own liveness state.
+        # repro: allow[RPR005] — paired value/flag walk over one slab row
+        pairs = zip(long_slab.row(label).tolist(), long_slab.row_flags(label).tolist())
+        for target, flag in pairs:
+            in_slab.remove_first(target, label, flag)
             dirty.add(target)
         # Drop every link that pointed at the departed node.
         for source in set(in_slab.row(label).tolist()):
@@ -723,7 +907,10 @@ class DeltaSnapshot:
     def _snapshot_impl(self) -> FastpathSnapshot:
         if not self.structural:
             self._last_strategy = "liveness_reuse"
-            return self._base.with_alive(self._mask_alive)
+            snapshot = self._base.with_alive(self._mask_alive)
+            if self._mask_edge_alive is not None:
+                snapshot = snapshot.with_edge_alive(self._mask_edge_alive)
+            return snapshot
         if self._cached is not None and not self._structure_dirty:
             self._last_strategy = "liveness_reuse"
             return self._cached.with_alive(self._alive[self._cached.labels])

@@ -17,9 +17,12 @@ into flat NumPy arrays:
 
 The snapshot is a frozen value object: node failures are modelled by deriving
 a copy with a different ``alive`` mask (:meth:`FastpathSnapshot.with_alive`),
-never by mutating arrays in place.  Link failures change the adjacency itself
-and therefore require re-compiling from the graph (link liveness is baked in
-at compile time, mirroring the scalar router's ``only_alive_links=True``).
+and link failures by deriving a copy with a per-edge ``edge_alive`` mask
+(:meth:`FastpathSnapshot.with_edge_alive`) — never by mutating arrays in
+place.  Graph compiles bake link liveness into the adjacency (dead links are
+omitted, mirroring the scalar router's ``only_alive_links=True``); the edge
+mask exists for the delta layer's liveness tier, where table-based overlays
+flip per-edge health without recompiling.
 
 Only one-dimensional spaces are supported (:class:`~repro.core.metric.RingMetric`
 and :class:`~repro.core.metric.LineMetric`) — the spaces the paper's analysis
@@ -72,6 +75,11 @@ class FastpathSnapshot:
         Optional ``int8[total_degree]`` per-edge class codes aligned with
         ``neighbor_indices`` for protocols whose tables are tiered (Chord's
         fingers vs successors); ``None`` when all edges are equal.
+    edge_alive:
+        Optional ``bool[total_degree]`` per-edge liveness mask aligned with
+        ``neighbor_indices``; ``None`` means every compiled edge is usable
+        (the common case — an all-``True`` mask is normalised to ``None`` so
+        fresh compiles and delta-derived snapshots stay field-identical).
     """
 
     kind: str
@@ -83,6 +91,7 @@ class FastpathSnapshot:
     symmetric_neighbors: bool = True
     policy: GreedyPolicy | None = None
     edge_class: np.ndarray | None = None
+    edge_alive: np.ndarray | None = None
     # Dense (num_nodes, max_degree) padded adjacency, built lazily from the
     # CSR arrays because the batch router gathers whole rows per hop.
     _dense_cache: dict = field(default_factory=dict, repr=False, compare=False)
@@ -265,6 +274,39 @@ class FastpathSnapshot:
             symmetric_neighbors=self.symmetric_neighbors,
             policy=self.policy,
             edge_class=self.edge_class,
+            edge_alive=self.edge_alive,
+            _dense_cache=self._dense_cache,
+        )
+
+    def with_edge_alive(self, edge_alive: np.ndarray | None) -> "FastpathSnapshot":
+        """Return a copy of this snapshot with a different per-edge mask.
+
+        The adjacency arrays and dense-matrix cache are shared — edge
+        failures do not change the topology, only which table entries count
+        as usable (the cache holds only pure-adjacency derivatives; masked
+        validity is folded in by the batch router per snapshot).  An
+        all-``True`` mask is normalised to ``None`` so a fully repaired
+        snapshot is field-identical to a fresh compile.
+        """
+        if edge_alive is not None:
+            edge_alive = np.asarray(edge_alive, dtype=bool)
+            if edge_alive.shape != self.neighbor_indices.shape:
+                raise ValueError(
+                    f"edge_alive mask has shape {edge_alive.shape}, "
+                    f"expected {self.neighbor_indices.shape}"
+                )
+            edge_alive = None if bool(edge_alive.all()) else edge_alive.copy()
+        return FastpathSnapshot(
+            kind=self.kind,
+            space_size=self.space_size,
+            labels=self.labels,
+            alive=self.alive,
+            neighbor_indptr=self.neighbor_indptr,
+            neighbor_indices=self.neighbor_indices,
+            symmetric_neighbors=self.symmetric_neighbors,
+            policy=self.policy,
+            edge_class=self.edge_class,
+            edge_alive=edge_alive,
             _dense_cache=self._dense_cache,
         )
 

@@ -94,6 +94,10 @@ class OverlayMixin:
             raise ValueError("member labels must be distinct")
         self._member_labels = members
         self._alive = np.ones(members.size, dtype=bool)
+        # Dead (holder, target) table entries.  Reset here deliberately: a
+        # membership rebuild (e.g. Chord's stabilize re-initialising over the
+        # live set) draws fresh links, and fresh links are healthy.
+        self._dead_edges: set[tuple[int, int]] = set()
         # Sorted distinct labels spanning exactly 0..n-1 are the identity
         # mapping, so liveness lookups can index directly.
         self._contiguous = bool(
@@ -130,14 +134,38 @@ class OverlayMixin:
         if position is not None:
             self._alive[position] = False
 
+    def revive_node(self, label: int) -> None:
+        """Revive the member at ``label`` (no-op for non-members)."""
+        position = self._label_position(label)
+        if position is not None:
+            self._alive[position] = True
+
     def fail_fraction(
         self, fraction: float, seed: int = 0, protect: set[int] | None = None
     ) -> list[int]:
         """Fail a uniformly random fraction of the live members."""
         return apply_fail_fraction(self, fraction, seed, protect, self.failure_stream)
 
+    def fail_link(self, source: int, target: int) -> None:
+        """Mark the table entry ``source -> target`` as unusable.
+
+        Every parallel occurrence of the pair (Chord's finger *and*
+        successor entries to the same node) shares the fate — the paper's
+        link-failure model is per node pair, not per table slot.
+        """
+        self._dead_edges.add((int(source), int(target)))
+
+    def revive_link(self, source: int, target: int) -> None:
+        """Mark the table entry ``source -> target`` as usable again."""
+        self._dead_edges.discard((int(source), int(target)))
+
+    def link_is_alive(self, source: int, target: int) -> bool:
+        """Whether the ``source -> target`` table entry is usable."""
+        return (source, target) not in self._dead_edges
+
     def repair(self) -> None:
-        """Revive every member, then run the protocol's repair hook."""
+        """Revive every member and link, then run the protocol's repair hook."""
+        self._dead_edges.clear()
         self._alive[:] = True
         self._after_repair()
 
@@ -171,6 +199,8 @@ class OverlayMixin:
         best_distance = self.space.distance(self._point_of(current), target_point)
         for neighbor in self.neighbors_of(current):
             if not self.is_alive(neighbor):
+                continue
+            if not self.link_is_alive(current, neighbor):
                 continue
             distance = self.space.distance(self._point_of(neighbor), target_point)
             if distance < best_distance:
@@ -242,8 +272,9 @@ class OverlayMixin:
         ``argmin`` over the policy's keys breaks ties exactly like
         ``next_hop`` — the hop-for-hop parity contract.  The snapshot is a
         frozen value: recompile after membership changes; pure liveness
-        changes can be expressed with
-        :meth:`~repro.fastpath.snapshot.FastpathSnapshot.with_alive`.
+        changes (node or link) can be expressed with
+        :meth:`~repro.fastpath.snapshot.FastpathSnapshot.with_alive` /
+        :meth:`~repro.fastpath.snapshot.FastpathSnapshot.with_edge_alive`.
         """
         # Imported here: repro.fastpath depends on repro.overlay.policy, so a
         # module-level import would create a cycle through the packages.
@@ -254,10 +285,12 @@ class OverlayMixin:
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         flat_labels: list[int] = []
         flat_classes: list[int] = []
+        flat_holders: list[int] = []
         for index, label in enumerate(member_labels.tolist()):
             for neighbor, edge_class in self.neighbor_entries(label):
                 flat_labels.append(int(neighbor))
                 flat_classes.append(int(edge_class))
+                flat_holders.append(label)
             indptr[index + 1] = len(flat_labels)
 
         flat = np.asarray(flat_labels, dtype=np.int64)
@@ -269,6 +302,16 @@ class OverlayMixin:
                 f"routing tables point at non-member labels {bad[:5].tolist()}"
             )
         classes = np.asarray(flat_classes, dtype=np.int8)
+        edge_alive: np.ndarray | None = None
+        if self._dead_edges:
+            dead = self._dead_edges
+            flat_alive = [
+                (holder, neighbor) not in dead
+                for holder, neighbor in zip(flat_holders, flat_labels)
+            ]
+            edge_alive = np.asarray(flat_alive, dtype=bool)
+            if bool(edge_alive.all()):
+                edge_alive = None
         return FastpathSnapshot(
             kind=self.snapshot_kind,
             space_size=self.space.size(),
@@ -279,4 +322,5 @@ class OverlayMixin:
             symmetric_neighbors=False,
             policy=self.greedy_policy(),
             edge_class=classes if np.any(classes) else None,
+            edge_alive=edge_alive,
         )

@@ -78,6 +78,7 @@ def _ensure_builtin_scenarios() -> None:
     if not _BUILTIN_LOADED:
         _BUILTIN_LOADED = True
         import repro.scenarios.churn  # noqa: F401  (registers on import)
+        import repro.scenarios.degradation  # noqa: F401  (registers on import)
         import repro.scenarios.library  # noqa: F401  (registers on import)
 
 

@@ -80,6 +80,10 @@ METRIC_NAMES: tuple[MetricName, ...] = (
     MetricName("route.batch_ms", "histogram", "BatchGreedyRouter",
                "wall-clock milliseconds per routed batch"),
     # -- refresh.* : DeltaSnapshot ------------------------------------------
+    MetricName("refresh.ops.link_fail", "counter", "DeltaSnapshot",
+               "edge-liveness ops applied: links failed in place"),
+    MetricName("refresh.ops.link_revive", "counter", "DeltaSnapshot",
+               "edge-liveness ops applied: links revived in place"),
     MetricName("refresh.ops.<kind>", "counter", "DeltaSnapshot",
                "recorded churn mutations applied, per op kind"),
     MetricName("refresh.strategy.<strategy>", "counter", "DeltaSnapshot",
@@ -97,6 +101,11 @@ METRIC_NAMES: tuple[MetricName, ...] = (
                "ring successor/predecessor pointers re-stitched"),
     MetricName("repair.holders_touched", "counter", "MaintenanceDaemon",
                "distinct nodes whose link lists were repaired"),
+    # -- faults.* : FaultDriver ---------------------------------------------
+    MetricName("faults.runs", "counter", "FaultDriver",
+               "fault schedules replayed end to end"),
+    MetricName("faults.events.<kind>", "counter", "FaultDriver",
+               "fault events applied, per event kind"),
     # -- sweep.* : Sweep.run ------------------------------------------------
     MetricName("sweep.cells_executed", "counter", "Sweep.run",
                "grid cells actually executed this run"),
@@ -124,9 +133,9 @@ METRIC_NAMES: tuple[MetricName, ...] = (
                "snapshot compile seconds per protocol"),
     MetricName("bench.<protocol>.fastpath_route_seconds", "histogram", "benchmark_baselines.py",
                "batched routing seconds per protocol"),
-    MetricName("bench.delta_refresh_ms", "histogram", "benchmark_churn.py",
+    MetricName("bench.delta_refresh_ms", "histogram", "benchmark_churn.py / benchmark_faults.py",
                "per-refresh delta materialization milliseconds"),
-    MetricName("bench.recompile_ms", "histogram", "benchmark_churn.py",
+    MetricName("bench.recompile_ms", "histogram", "benchmark_churn.py / benchmark_faults.py",
                "per-refresh full recompile milliseconds"),
 )
 

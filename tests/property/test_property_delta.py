@@ -230,3 +230,83 @@ class TestLivenessDeltaParity:
         assert_snapshots_identical(
             mirror.snapshot(), overlay.compile_snapshot(), context=protocol
         )
+
+
+# ---------------------------------------------------------------------------
+# Fault schedules: the full typed event vocabulary, both driver backends
+# ---------------------------------------------------------------------------
+
+
+class TestFaultScheduleParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_graph_backend_field_identity(self, seed):
+        """Any random schedule on the power-law overlay: delta == compile,
+        checked after every event (structural tier, link-liveness ops)."""
+        from repro.core.builder import build_ideal_network
+        from repro.faults import FaultDriver, random_schedule
+
+        build = build_ideal_network(128, seed=seed)
+        mirror = DeltaSnapshot.from_graph(build.graph)
+
+        def check(index, event, entry):
+            assert_snapshots_identical(
+                mirror.snapshot(),
+                compile_snapshot(build.graph),
+                context=f"{event.kind}@{index}",
+            )
+
+        FaultDriver(
+            build, random_schedule(seed, length=8), mirror=mirror, on_event=check
+        ).run()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        protocol=st.sampled_from(BASELINE_PROTOCOLS),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_table_backend_field_identity(self, protocol, seed):
+        """Any random schedule on any baseline protocol: the overlay-backed
+        liveness mirror (edge masks + OP_REBUILD) == a fresh compile after
+        every event."""
+        from repro.faults import FaultDriver, random_schedule
+
+        overlay = _build_overlay(protocol, seed)
+        mirror = DeltaSnapshot.from_overlay(overlay)
+
+        def check(index, event, entry):
+            assert_snapshots_identical(
+                mirror.snapshot(),
+                overlay.compile_snapshot(),
+                context=f"{protocol}:{event.kind}@{index}",
+            )
+
+        FaultDriver(
+            overlay, random_schedule(seed, length=6), mirror=mirror, on_event=check
+        ).run()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        protocol=st.sampled_from(BASELINE_PROTOCOLS),
+        seed=st.integers(min_value=0, max_value=60),
+        queries=st.integers(min_value=2, max_value=10),
+    )
+    def test_post_schedule_routing_parity(self, protocol, seed, queries):
+        """After a full schedule, batch routes over the mirror snapshot match
+        the mutated overlay's scalar walk (edge liveness included)."""
+        from repro.faults import FaultDriver, random_schedule
+
+        overlay = _build_overlay(protocol, seed)
+        mirror = DeltaSnapshot.from_overlay(overlay)
+        FaultDriver(overlay, random_schedule(seed, length=5), mirror=mirror).run()
+
+        live = overlay.labels(only_alive=True)
+        if len(live) < 2:
+            return
+        pairs = LookupWorkload(seed=seed + 1).pairs(live, queries)
+        batch = BatchGreedyRouter(mirror.snapshot(), hop_limit=overlay.hop_limit)
+        result = batch.route_pairs(pairs, record_paths=True)
+        for index, (source, target) in enumerate(pairs):
+            reference = overlay.route(source, target)
+            assert bool(result.success[index]) == reference.success
+            assert result.paths[index] == reference.path

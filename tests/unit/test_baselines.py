@@ -205,3 +205,43 @@ class TestPlaxton:
         for source in range(0, 27, 5):
             for target in range(0, 27, 7):
                 assert plaxton.route(source, target).success
+
+
+class TestChordStabilize:
+    def test_batched_tables_match_scalar_build(self):
+        chord = ChordNetwork(bits=7, members=list(range(0, 128, 3)))
+        chord.build_routing_tables()
+        scalar_fingers = {k: list(v) for k, v in chord._fingers.items()}
+        scalar_successors = {k: list(v) for k, v in chord._successors.items()}
+        chord._fingers = {}
+        chord._successors = {}
+        chord.build_routing_tables_batched()
+        assert chord._fingers == scalar_fingers
+        assert chord._successors == scalar_successors
+
+    def test_stabilize_matches_fresh_ring_over_survivors(self):
+        chord = ChordNetwork(bits=6)
+        chord.fail_fraction(0.4, seed=7)
+        live = chord.labels(only_alive=True)
+        chord.stabilize()
+        fresh = ChordNetwork(bits=6, members=live)
+        assert chord.members == fresh.members
+        assert chord._fingers == fresh._fingers
+        assert chord._successors == fresh._successors
+
+    def test_stabilize_with_zero_live_members_is_a_noop(self):
+        chord = ChordNetwork(bits=4, members=[1, 5, 9])
+        for label in (1, 5, 9):
+            chord.fail_node(label)
+        chord.stabilize()
+        assert chord.members == [1, 5, 9]
+        assert chord.labels(only_alive=True) == []
+
+    def test_stabilize_with_one_live_member_is_a_noop(self):
+        chord = ChordNetwork(bits=4, members=[1, 5, 9])
+        chord.fail_node(1)
+        chord.fail_node(5)
+        before_fingers = {k: list(v) for k, v in chord._fingers.items()}
+        chord.stabilize()
+        assert chord.members == [1, 5, 9]
+        assert chord._fingers == before_fingers

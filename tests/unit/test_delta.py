@@ -86,16 +86,26 @@ class TestDeltaRecorder:
         assert len(first) == 1 and first.liveness_only
         assert len(recorder.drain()) == 0
 
-    def test_dead_link_removal_is_not_recorded(self, mirrored):
+    def test_dead_link_lifecycle_is_recorded(self, mirrored):
+        """Link fail, revive, and dead-link removal all stay mirrored."""
         construction, _daemon, recorder, mirror = mirrored
         graph = construction.graph
         holder = next(node.label for node in graph.nodes() if node.long_links)
-        link = graph.node(holder).long_links[0]
-        link.alive = False  # a link-failure flip (outside the delta vocabulary)
-        recorder.drain()
-        graph.remove_long_link(holder, link.target)
+        target = graph.node(holder).long_links[0].target
+        assert graph.fail_long_link(holder, target)
         delta = recorder.drain()
-        assert len(delta) == 0
+        assert delta.counts() == {"link_fail": 1}
+        mirror.apply(delta)
+        assert_snapshots_identical(mirror.snapshot(), compile_snapshot(graph))
+        assert graph.revive_long_link(holder, target)
+        assert graph.fail_long_link(holder, target)
+        # Removing a dead-flagged link is recorded too (the mirror tracks
+        # dead entries in its slabs, so the removal must reach it).
+        graph.remove_long_link(holder, target)
+        delta = recorder.drain()
+        assert delta.counts() == {"link_revive": 1, "link_fail": 1, "remove_link": 1}
+        mirror.apply(delta)
+        assert_snapshots_identical(mirror.snapshot(), compile_snapshot(graph))
 
     def test_wire_ring_is_observed(self, mirrored):
         """Bulk ring rewiring routes through the mutator and stays mirrored."""
@@ -216,3 +226,125 @@ class TestRouterRebase:
     def test_snapshot_delta_repr_roundtrip(self):
         delta = SnapshotDelta()
         assert not delta and len(delta) == 0 and delta.liveness_only
+
+
+class TestSlabFlags:
+    def test_flags_filter_gather_and_survive_removal(self):
+        slab = _Slab([[7, 7, 9]])
+        slab.set_flag_first(0, 7, True, False)  # first 7 goes dead
+        assert list(slab.row_flags(0)) == [False, True, True]
+        values, rows, counts = slab.gather(np.array([0]))
+        assert list(values) == [7, 9]  # dead entry filtered
+        assert counts.tolist() == [2]
+        # want=True removes the live duplicate, not the dead one.
+        assert slab.remove_first(0, 7, want=True) is True
+        assert list(slab.row(0)) == [7, 9]
+        assert list(slab.row_flags(0)) == [False, True]
+
+    def test_dead_append_and_revive(self):
+        slab = _Slab([[4]])
+        slab.append(0, 8, alive=False)
+        values, _rows, counts = slab.gather(np.array([0]))
+        assert list(values) == [4] and counts.tolist() == [1]
+        slab.set_flag_first(0, 8, False, True)
+        values, _rows, counts = slab.gather(np.array([0]))
+        assert list(values) == [4, 8] and counts.tolist() == [2]
+
+    def test_find_with_flag_mismatch_raises(self):
+        slab = _Slab([[3]])
+        with pytest.raises(ValueError, match="diverged"):
+            slab.set_flag_first(0, 3, False, True)  # the only 3 is alive
+
+    def test_relocation_carries_flags(self):
+        slab = _Slab([[1, 2], [3]])
+        slab.set_flag_first(0, 2, True, False)
+        for value in range(10, 30):
+            slab.append(0, value)
+        assert list(slab.row(0))[:2] == [1, 2]
+        assert list(slab.row_flags(0))[:2] == [True, False]
+
+
+class TestEdgeLiveness:
+    def test_with_edge_alive_normalizes_all_true_to_none(self, construction):
+        snapshot = compile_snapshot(construction.graph)
+        mask = np.ones(snapshot.neighbor_indices.shape[0], dtype=bool)
+        assert snapshot.with_edge_alive(mask).edge_alive is None
+        if mask.size:
+            mask[0] = False
+            flagged = snapshot.with_edge_alive(mask)
+            assert flagged.edge_alive is not None
+            assert not flagged.edge_alive[0]
+
+    def test_with_edge_alive_shape_mismatch_raises(self, construction):
+        snapshot = compile_snapshot(construction.graph)
+        with pytest.raises(ValueError, match="edge_alive"):
+            snapshot.with_edge_alive(np.ones(3, dtype=bool))
+
+    def test_structural_tier_link_flip_matches_compile(self, mirrored):
+        construction, _daemon, recorder, mirror = mirrored
+        graph = construction.graph
+        holders = [node.label for node in graph.nodes() if node.long_links][:4]
+        for holder in holders:
+            target = graph.node(holder).long_links[0].target
+            graph.fail_long_link(holder, target)
+        mirror.apply(recorder.drain())
+        snapshot = mirror.snapshot()
+        assert_snapshots_identical(snapshot, compile_snapshot(graph))
+        # A fresh compile excludes dead links entirely, so no edge mask.
+        assert snapshot.edge_alive is None
+
+    def test_liveness_tier_link_flip_matches_compile(self):
+        from repro.baselines import ChordNetwork
+        from repro.fastpath.delta import OP_LINK_FAIL, OP_LINK_REVIVE
+
+        overlay = ChordNetwork(bits=5)
+        mirror = DeltaSnapshot.from_overlay(overlay)
+        holder = overlay.members[0]
+        target = overlay.neighbors_of(holder)[0]
+        overlay.fail_link(holder, target)
+        mirror.apply(SnapshotDelta(ops=[(OP_LINK_FAIL, holder, target)]))
+        masked = mirror.snapshot()
+        assert masked.edge_alive is not None
+        assert_snapshots_identical(masked, overlay.compile_snapshot())
+        overlay.revive_link(holder, target)
+        mirror.apply(SnapshotDelta(ops=[(OP_LINK_REVIVE, holder, target)]))
+        restored = mirror.snapshot()
+        # All-True masks normalize away: field identity with a fresh compile.
+        assert restored.edge_alive is None
+        assert_snapshots_identical(restored, overlay.compile_snapshot())
+
+    def test_rebuild_requires_overlay_backed_mirror(self):
+        from repro.baselines import ChordNetwork
+        from repro.fastpath.delta import OP_REBUILD
+
+        overlay = ChordNetwork(bits=5)
+        mirror = DeltaSnapshot.from_snapshot(overlay.compile_snapshot())
+        with pytest.raises(NotImplementedError, match="from_overlay"):
+            mirror.apply(SnapshotDelta(ops=[(OP_REBUILD,)]))
+
+    def test_unknown_link_flip_diverges_loudly(self):
+        from repro.baselines import ChordNetwork
+        from repro.fastpath.delta import OP_LINK_FAIL
+
+        overlay = ChordNetwork(bits=5)
+        mirror = DeltaSnapshot.from_overlay(overlay)
+        holder = overlay.members[0]
+        with pytest.raises(ValueError, match="diverged"):
+            mirror.apply(SnapshotDelta(ops=[(OP_LINK_FAIL, holder, holder)]))
+
+    def test_batch_router_skips_dead_edges(self):
+        from repro.baselines import ChordNetwork
+
+        overlay = ChordNetwork(bits=5)
+        source = overlay.members[0]
+        target = overlay.members[9]
+        first_hop = overlay.route(source, target).path[1]
+        overlay.fail_link(source, first_hop)
+        reference = overlay.route(source, target)
+        router = BatchGreedyRouter(
+            overlay.compile_snapshot(), hop_limit=overlay.hop_limit
+        )
+        result = router.route_pairs([(source, target)], record_paths=True)
+        assert bool(result.success[0]) == reference.success
+        assert result.paths[0] == reference.path
+        assert first_hop not in result.paths[0][:2]

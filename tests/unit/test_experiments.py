@@ -243,6 +243,28 @@ class TestTable1:
         hops = result.single_link.column("measured_hops")
         assert hops[1] > hops[0]
 
+    def test_link_failure_rows_take_the_delta_path_on_fastpath(self):
+        """Rows 4/5 under engine=fastpath never recompile: the per-level
+        tables arrive through edge-liveness delta ops, and the numbers are
+        identical to the object engine."""
+        from repro.telemetry.core import session as telemetry_session
+
+        kwargs = dict(
+            sizes=[64, 128], link_counts=[1], bases=[2],
+            probabilities=[0.9, 0.5], searches=25, seed=2,
+        )
+        with telemetry_session() as tel:
+            fast = run_table1(engine="fastpath", **kwargs)
+        counters = tel.to_dict()["counters"]
+        assert counters.get("refresh.ops.link_fail", 0) > 0
+        assert counters.get("refresh.ops.link_revive", 0) > 0
+        obj = run_table1(engine="object", **kwargs)
+        for name in ("link_failures_random", "link_failures_deterministic"):
+            assert (
+                getattr(fast, name).to_json_dict()["rows"]
+                == getattr(obj, name).to_json_dict()["rows"]
+            ), name
+
 
 class TestAblations:
     def test_replacement_ablation(self):

@@ -53,6 +53,33 @@ class TestLinkFailureModel:
         model.repair(graph)
         assert graph.total_long_links(only_alive=True) == before
 
+    def test_repair_survives_concurrent_mutation(self, ideal_network_256):
+        """Repair restores by (holder, target) lookup, so a link removed (or a
+        holder departed) between apply and repair is skipped — it does not
+        shift which other links get revived."""
+        graph = ideal_network_256.graph
+        model = LinkFailureModel(0.5, seed=4)
+        model.apply(graph)
+        failed = list(model._failed)
+        assert len(failed) >= 3
+        # Pick victims whose (holder, target) pair is unique in the failed
+        # set, so "the others were restored" is unambiguous.
+        unique = [pair for pair in failed if failed.count(pair) == 1]
+        gone_holder, gone_target = unique[0]
+        departed = next(holder for holder, _ in unique[1:] if holder != gone_holder)
+        graph.remove_long_link(gone_holder, gone_target)
+        graph.remove_node(departed)
+        model.repair(graph)
+        for holder, target in failed:
+            if holder == departed or target == departed:
+                continue
+            if (holder, target) == (gone_holder, gone_target):
+                continue
+            assert any(
+                link.target == target and link.alive
+                for link in graph.node(holder).long_links
+            ), (holder, target)
+
     def test_invalid_probability(self):
         with pytest.raises(ValueError):
             LinkFailureModel(1.5)

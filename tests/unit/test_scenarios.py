@@ -156,6 +156,7 @@ class TestRegistry:
             "figure5", "figure6", "figure7", "table1",
             "ablation-replacement", "ablation-backtrack", "ablation-exponent",
             "byzantine", "baselines", "churn", "maintenance-cost",
+            "degradation",
         } <= names
 
     def test_churn_scenarios_run_on_both_engines_identically(self):
@@ -186,6 +187,41 @@ class TestRegistry:
         assert len(result.tables) == 2
         assert "0.020" in result.tables[0].title
         assert "0.080" in result.tables[1].title
+
+    def test_degradation_scenario_runs_on_both_engines_identically(self):
+        """The fault-timeline scenario is engine-agnostic: identical tables."""
+        from repro.scenarios import run
+
+        spec = get_scenario("degradation").make_spec(
+            overrides={"topology.nodes": 128, "workload.searches": 20,
+                       "failures.levels": (0.2,)}
+        )
+        object_run = run(spec)
+        fastpath_run = run(spec.with_overrides({"engine": "fastpath"}))
+        assert object_run.engine_used == "object"
+        assert fastpath_run.engine_used == "fastpath"
+        assert [t.to_json_dict() for t in object_run.tables] == [
+            t.to_json_dict() for t in fastpath_run.tables
+        ]
+        # The schedule rows: healthy baseline + one row per fault event.
+        rows = object_run.tables[0].rows
+        assert rows[0][1] == "healthy"
+        assert [row[1] for row in rows[1:]] == [
+            "link_fail", "crash", "targeted", "region_fail", "stabilize", "repair",
+        ]
+
+    def test_degradation_scenario_on_table_protocol(self):
+        """topology.protocol switches the overlay family (delta-driven fastpath)."""
+        from repro.scenarios import run
+
+        spec = get_scenario("degradation").make_spec(
+            overrides={"topology.nodes": 64, "topology.protocol": "chord",
+                       "workload.searches": 15, "failures.levels": (0.3,),
+                       "engine": "fastpath"}
+        )
+        result = run(spec)
+        assert result.engine_used == "fastpath"
+        assert "chord" in result.tables[0].title
 
     def test_unknown_scenario_lists_known_names(self):
         with pytest.raises(UnknownScenarioError, match="figure5"):
