@@ -180,9 +180,12 @@ def run_build_comparison(n: int = 1 << 17, links_per_node: int | None = None, se
     """Time the direct-to-CSR build against build + compile at paper scale.
 
     Also asserts the two paths emit bit-identical snapshots — the direct
-    build's core contract.
+    build's core contract — and that the dtype contract narrowed labels and
+    row pointers to ``int32`` (paper scale sits well below the ``2**30``
+    label cutoff), reporting the peak snapshot footprint in bytes.
     """
     from repro.fastpath import build_snapshot
+    from repro.fastpath.dtypes import snapshot_nbytes
 
     started = time.perf_counter()
     direct = build_snapshot(n, links_per_node=links_per_node, seed=seed)
@@ -196,12 +199,23 @@ def run_build_comparison(n: int = 1 << 17, links_per_node: int | None = None, se
     assert np.array_equal(compiled.labels, direct.labels)
     assert np.array_equal(compiled.neighbor_indptr, direct.neighbor_indptr)
     assert np.array_equal(compiled.neighbor_indices, direct.neighbor_indices)
+    assert compiled.labels.dtype == np.dtype(np.int32), compiled.labels.dtype
+    assert compiled.neighbor_indptr.dtype == np.dtype(np.int32), compiled.neighbor_indptr.dtype
+    assert direct.labels.dtype == compiled.labels.dtype
+    assert direct.neighbor_indptr.dtype == compiled.neighbor_indptr.dtype
+
+    narrowed_bytes = snapshot_nbytes(compiled)
+    # What the same snapshot would ship with pre-contract int64 labels/indptr.
+    wide_bytes = narrowed_bytes + compiled.labels.nbytes + compiled.neighbor_indptr.nbytes
     return {
         "nodes": n,
         "direct_build_seconds": direct_seconds,
         "object_build_plus_compile_seconds": object_seconds,
         "build_speedup": object_seconds / direct_seconds,
         "bit_identical": True,
+        "snapshot_bytes": narrowed_bytes,
+        "snapshot_bytes_int64_equivalent": wide_bytes,
+        "snapshot_bytes_saved": wide_bytes - narrowed_bytes,
     }
 
 
@@ -351,6 +365,9 @@ def check_strategies_and_build(strategy_stats: dict, build_stats: dict) -> None:
     assert build_stats["build_speedup"] >= 5.0, (
         f"direct build speedup {build_stats['build_speedup']:.1f}x < 5x"
     )
+    assert build_stats["snapshot_bytes"] < build_stats["snapshot_bytes_int64_equivalent"], (
+        "dtype narrowing saved no snapshot bytes"
+    )
 
 
 def _report(stats: dict) -> str:
@@ -382,6 +399,12 @@ def _report_strategies(strategy_stats: dict, build_stats: dict) -> str:
         f"{build_stats['direct_build_seconds']:.2f}s vs "
         f"{build_stats['object_build_plus_compile_seconds']:.2f}s "
         f"({build_stats['build_speedup']:.1f}x, bit-identical)"
+    )
+    lines.append(
+        f"peak snapshot footprint @ n={build_stats['nodes']}: "
+        f"{build_stats['snapshot_bytes'] / 1e6:.1f} MB int32-narrowed vs "
+        f"{build_stats['snapshot_bytes_int64_equivalent'] / 1e6:.1f} MB int64 "
+        f"({build_stats['snapshot_bytes_saved'] / 1e6:.1f} MB saved)"
     )
     return "\n".join(lines)
 

@@ -1,10 +1,11 @@
-"""Project-specific static analysis: the ``repro lint`` invariant linter.
+"""Project-specific static analysis: ``repro lint`` and ``repro analyze``.
 
 The repository's guarantees — engine parity, serial==parallel sweep
-byte-identity, telemetry on/off result identity — are *determinism
-contracts*.  Property tests enforce them dynamically; this package enforces
-their source-level preconditions statically, so a violation is caught at
-lint time instead of waiting for a seed to hit it.
+byte-identity, telemetry on/off result identity, the snapshot dtype
+contract — are *determinism contracts*.  Property tests enforce them
+dynamically; this package enforces their source-level preconditions
+statically, so a violation is caught at lint time instead of waiting for a
+seed (or a million-node space) to hit it.
 
 Layout:
 
@@ -15,10 +16,14 @@ Layout:
 * :mod:`repro.devtools.engine` — the file walker / rule driver;
 * :mod:`repro.devtools.rules` — the rule catalog (RPR001..RPR006);
 * :mod:`repro.devtools.reporters` — ``file:line`` text and JSON output;
-* :mod:`repro.devtools.cli` — the ``repro lint`` subcommand.
+* :mod:`repro.devtools.cli` — the ``repro lint`` subcommand;
+* :mod:`repro.devtools.analyze` — the ``repro analyze`` dtype/shape dataflow
+  analyzer (check family RPA101..RPA104) enforcing the snapshot dtype
+  contract from :mod:`repro.fastpath.dtypes`.
 
-Run it as ``repro lint [--format text|json] [--select/--ignore RULE]
-[PATHS]``; exit code 0 means clean, 1 means findings, 2 means usage error.
+Run them as ``repro lint`` / ``repro analyze`` with the shared option
+surface ``[--format text|json] [--select/--ignore ID] [PATHS]``; exit code
+0 means clean, 1 means findings, 2 means usage error.
 """
 
 from repro.devtools.engine import LintEngine, LintResult

@@ -1,0 +1,856 @@
+"""The dataflow interpreter behind ``repro analyze``.
+
+One abstract interpreter walks each module's AST (the same parse the lint
+engine takes), tracking an :class:`~repro.devtools.analyze.values.AbstractValue`
+per binding and firing the RPA1xx checks at the expressions where dtype
+facts become definite.  The design rules:
+
+* **Intraprocedural with call summaries** — each function body is analyzed
+  with its parameters unknown; its joined return value is recorded under
+  the function's dotted name and re-used at call sites (two global passes
+  reach the fixed point the repo's import graph needs).  Methods are also
+  published under their bare name when it is unique across every analyzed
+  class (``labels_compact``, ``gather``, ...), which resolves
+  ``snapshot.labels_compact()``-style calls without type inference.
+* **Branches join, loops run twice** — ``if`` analyzes both arms and joins;
+  loops analyze their body twice (enough for the joins to stabilise over
+  the lattice's one level of dtype-set growth) and duplicate findings are
+  deduplicated by the engine.
+* **Checks fire only on definite facts** — unknown kinds and empty dtype
+  sets never produce findings, so coarse summaries cost recall, never
+  precision.
+
+NumPy semantics modeled: constructor ``dtype=`` kwargs, ``astype``,
+``asarray`` pass-through, NEP 50 binary-op promotion (weak Python scalars
+never widen arrays), platform-default constructors, ``searchsorted`` /
+``nonzero`` / ``argsort`` / ``cumsum`` result dtypes (``intp``), reductions'
+``dtype=``/``out=`` escapes, and indexing/slicing rank changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+import numpy as np
+
+from repro.devtools.analyze.checks import (
+    CONTRACT_MISMATCH,
+    DEFAULT_DTYPE,
+    MIXED_CONCAT,
+    SILENT_UPCAST,
+    mirror_field_contract,
+    snapshot_field_contract,
+)
+from repro.devtools.analyze.values import (
+    ARRAY,
+    DTYPE,
+    PYLIST,
+    SCALAR,
+    SELF,
+    UNKNOWN,
+    WEAK_SCALAR,
+    AbstractValue,
+    array_of,
+    definitely_widens,
+    dtype_of,
+    join,
+    narrow_int_only,
+    promote_sets,
+    pylist,
+    scalar_of,
+    self_value,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ImportMap, LintModule, dotted_name
+
+__all__ = ["SharedAnalysisState", "ModuleAnalyzer", "module_name_for"]
+
+#: Sentinel for bare method names defined by more than one analyzed class.
+_AMBIGUOUS = object()
+
+#: numpy attribute -> canonical dtype name (``np.intp`` et al. normalise to
+#: the CI platform's 64-bit layout; the analyzer targets the repo's CI, not
+#: arbitrary ABIs, and flags reliance on these via RPA101/RPA103 anyway).
+_NUMPY_DTYPE_ATTRS = {
+    "bool_": "bool",
+    "int8": "int8",
+    "int16": "int16",
+    "int32": "int32",
+    "int64": "int64",
+    "uint8": "uint8",
+    "uint16": "uint16",
+    "uint32": "uint32",
+    "uint64": "uint64",
+    "intp": "int64",
+    "int_": "int64",
+    "intc": "int32",
+    "longlong": "int64",
+    "float16": "float16",
+    "float32": "float32",
+    "float64": "float64",
+    "single": "float32",
+    "double": "float64",
+}
+
+_BUILTIN_DTYPE_NAMES = {"bool": "bool", "int": "int64", "float": "float64"}
+
+#: Constructors whose missing ``dtype=`` is always platform-dependent.
+_DEFAULT_CONSTRUCTORS = {"zeros", "ones", "empty", "full", "arange"}
+#: ``*_like`` constructors inherit their operand's dtype when ``dtype=`` is absent.
+_LIKE_CONSTRUCTORS = {"zeros_like", "ones_like", "empty_like", "full_like"}
+#: Conversion constructors: pass arrays through, flag non-array operands.
+_ARRAY_CONSTRUCTORS = {"array", "asarray", "asanyarray", "ascontiguousarray", "asfortranarray"}
+#: Functions whose result is the platform ``intp`` by definition (modeled,
+#: not flagged — positions/counts are what intp is for).
+_INTP_FUNCS = {
+    "searchsorted", "argsort", "argmin", "argmax", "flatnonzero",
+    "count_nonzero", "bincount", "digitize",
+}
+#: First-operand dtype pass-through functions.
+_SAME_DTYPE_FUNCS = {
+    "diff", "repeat", "take", "sort", "unique", "flip", "roll", "copy",
+    "abs", "absolute", "negative", "clip", "tile", "squeeze", "ravel",
+    "reshape", "transpose", "atleast_1d", "take_along_axis", "broadcast_to",
+    "expand_dims", "ediff1d",
+}
+#: Element-wise two-operand functions that promote like a binary operator.
+_BINOP_FUNCS = {"minimum", "maximum", "fmin", "fmax", "add", "subtract",
+                "multiply", "floor_divide", "mod", "remainder"}
+#: Boolean-result functions.
+_BOOL_FUNCS = {"isin", "logical_and", "logical_or", "logical_not",
+               "logical_xor", "isnan", "isfinite", "equal", "not_equal",
+               "less", "less_equal", "greater", "greater_equal"}
+#: Float64-result functions (mean-like reductions and transcendentals).
+_FLOAT_FUNCS = {"mean", "std", "var", "sqrt", "log", "log2", "log10", "exp",
+                "ceil", "floor"}
+_REDUCTIONS = {"sum", "cumsum", "prod", "cumprod"}
+_CONCAT_FUNCS = {"concatenate", "stack", "hstack", "vstack", "column_stack", "dstack"}
+
+_SAME_DTYPE_METHODS = {
+    "copy", "ravel", "flatten", "reshape", "transpose", "squeeze", "clip",
+    "round", "repeat", "take", "min", "max", "byteswap",
+}
+_INTP_METHODS = {"argmin", "argmax", "argsort", "searchsorted", "nonzero"}
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of a repo-relative posix path (src/ stripped)."""
+    parts = list(path.split("/"))
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SharedAnalysisState:
+    """Summaries and globals shared across every module of one run."""
+
+    def __init__(self) -> None:
+        #: dotted function name -> joined return value.
+        self.summaries: dict[str, AbstractValue] = {}
+        #: module-level binding name (dotted) -> value.
+        self.globals: dict[str, AbstractValue] = {}
+        #: bare method name -> summary, or _AMBIGUOUS when classes collide.
+        self.methods: dict[str, object] = {}
+        self._method_owner: dict[str, str] = {}
+
+    def record_method(self, owner: str, name: str, summary: AbstractValue) -> None:
+        previous = self._method_owner.get(name)
+        if previous is None or previous == owner:
+            self._method_owner[name] = owner
+            self.methods[name] = summary
+        else:
+            self.methods[name] = _AMBIGUOUS
+
+    def method_summary(self, name: str) -> AbstractValue | None:
+        summary = self.methods.get(name)
+        if summary is None or summary is _AMBIGUOUS:
+            return None
+        return summary  # type: ignore[return-value]
+
+
+class ModuleAnalyzer:
+    """Analyze one parsed module: collect summaries and (optionally) report."""
+
+    def __init__(
+        self,
+        module: LintModule,
+        shared: SharedAnalysisState,
+        report: bool = False,
+    ) -> None:
+        self.module = module
+        self.shared = shared
+        self.report = report
+        self.module_name = module_name_for(module.path)
+        self.imports = ImportMap(module.tree)
+        self.findings: list[Finding] = []
+        self._returns: list[AbstractValue] = []
+        self._self_class: str | None = None
+        self._snapshot_contract = snapshot_field_contract()
+        self._mirror_contract = mirror_field_contract()
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        env: dict[str, AbstractValue] = {}
+        self._exec_body(
+            [stmt for stmt in self.module.tree.body
+             if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))],
+            env,
+        )
+        for name, value in env.items():
+            self.shared.globals[f"{self.module_name}.{name}"] = value
+        for stmt in self.module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = self._analyze_function(stmt, env, self_class=None)
+                self.shared.summaries[f"{self.module_name}.{stmt.name}"] = summary
+            elif isinstance(stmt, ast.ClassDef):
+                owner = f"{self.module_name}.{stmt.name}"
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        summary = self._analyze_function(sub, env, self_class=stmt.name)
+                        self.shared.summaries[f"{owner}.{sub.name}"] = summary
+                        self.shared.record_method(owner, sub.name, summary)
+        return self.findings
+
+    def _analyze_function(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, module_env: dict, self_class: str | None
+    ) -> AbstractValue:
+        env = dict(module_env)
+        args = fn.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        for index, param in enumerate(params):
+            if index == 0 and self_class is not None and param.arg == "self":
+                env[param.arg] = self_value()
+            else:
+                env[param.arg] = UNKNOWN
+        if args.vararg:
+            env[args.vararg.arg] = UNKNOWN
+        if args.kwarg:
+            env[args.kwarg.arg] = UNKNOWN
+        previous_class = self._self_class
+        previous_returns = self._returns
+        self._self_class = self_class
+        self._returns = []
+        try:
+            self._exec_body(fn.body, env)
+            returns = self._returns
+        finally:
+            self._self_class = previous_class
+            self._returns = previous_returns
+        if not returns:
+            return UNKNOWN
+        summary = returns[0]
+        for value in returns[1:]:
+            summary = join(summary, value)
+        return summary
+
+    # -- findings ------------------------------------------------------------
+
+    def _emit(self, check: str, node: ast.AST, message: str) -> None:
+        if self.report:
+            self.findings.append(self.module.finding(check, node, message))
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_body(self, body: Iterable[ast.stmt], env: dict) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.eval(stmt.target, env) if isinstance(stmt.target, (ast.Name, ast.Attribute, ast.Subscript)) else UNKNOWN
+            operand = self.eval(stmt.value, env)
+            result = self._binop_result(stmt, current, operand)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = result
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+            else:
+                value = UNKNOWN
+            if stmt.value is not None and value.kind == UNKNOWN.kind:
+                value = self._value_from_annotation(stmt.annotation, value)
+            if stmt.value is not None:
+                self._bind(stmt.target, value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            then_env = dict(env)
+            else_env = dict(env)
+            self._exec_body(stmt.body, then_env)
+            self._exec_body(stmt.orelse, else_env)
+            self._merge(env, then_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter, env)
+            before = dict(env)
+            self._bind(stmt.target, UNKNOWN, env)
+            self._exec_body(stmt.body, env)
+            self._exec_body(stmt.body, env)
+            self._exec_body(stmt.orelse, env)
+            self._merge_loop(env, before)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            before = dict(env)
+            self._exec_body(stmt.body, env)
+            self._exec_body(stmt.body, env)
+            self._exec_body(stmt.orelse, env)
+            self._merge_loop(env, before)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN, env)
+            self._exec_body(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body, env)
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                if handler.name:
+                    handler_env[handler.name] = UNKNOWN
+                self._exec_body(handler.body, handler_env)
+                self._merge(env, env, handler_env)
+            self._exec_body(stmt.orelse, env)
+            self._exec_body(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value, env) if stmt.value is not None else UNKNOWN
+            returns = getattr(self, "_returns", None)
+            if returns is not None:
+                returns.append(value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            if stmt.msg is not None:
+                self.eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs (e.g. local scatter helpers) only close over state
+            # already checked in this scope; their bodies are not re-analyzed.
+            env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.ClassDef):
+            env[stmt.name] = UNKNOWN
+        # Pass/Break/Continue/Import/Global/Nonlocal: no dataflow effect
+        # (imports are pre-resolved by the module-wide ImportMap).
+
+    def _merge(self, env: dict, left: dict, right: dict) -> None:
+        merged: dict[str, AbstractValue] = {}
+        for key in set(left) | set(right):
+            a = left.get(key)
+            b = right.get(key)
+            if a is None:
+                merged[key] = b  # type: ignore[assignment]
+            elif b is None:
+                merged[key] = a
+            else:
+                merged[key] = join(a, b)
+        env.clear()
+        env.update(merged)
+
+    def _merge_loop(self, env: dict, before: dict) -> None:
+        for key, value in before.items():
+            if key in env:
+                env[key] = join(env[key], value)
+
+    def _bind(self, target: ast.expr, value: AbstractValue, env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, UNKNOWN, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN, env)
+        elif isinstance(target, ast.Attribute):
+            self._check_mirror_store(target, value)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.value, env)
+            self.eval(target.slice, env)
+
+    def _check_mirror_store(self, target: ast.Attribute, value: AbstractValue) -> None:
+        allowed = self._mirror_contract.get(target.attr)
+        if allowed is None or not value.is_definite_array:
+            return
+        if value.dtypes & allowed:
+            return
+        self._emit(
+            CONTRACT_MISMATCH,
+            target,
+            f"mirror field `{target.attr}` assigned dtype "
+            f"{'|'.join(sorted(value.dtypes))}, contract allows "
+            f"{'|'.join(sorted(allowed))} (repro/fastpath/dtypes.py)",
+        )
+
+    def _value_from_annotation(self, annotation: ast.expr, fallback: AbstractValue) -> AbstractValue:
+        text = ast.unparse(annotation) if annotation is not None else ""
+        if text.startswith(("list", "List", "tuple", "Tuple", "set", "Set")):
+            return pylist()
+        return fallback
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.expr | None, env: dict) -> AbstractValue:
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (bool, int, float, complex)):
+                return WEAK_SCALAR
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return self._resolve_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self._binop_result(node, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return WEAK_SCALAR
+            return operand
+        if isinstance(node, ast.BoolOp):
+            values = [self.eval(value, env) for value in node.values]
+            if any(value.kind == ARRAY for value in values):
+                return array_of("bool")
+            return WEAK_SCALAR
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left, env)
+            rights = [self.eval(comp, env) for comp in node.comparators]
+            if left.kind == ARRAY or any(value.kind == ARRAY for value in rights):
+                rank = left.rank if left.kind == ARRAY else None
+                return array_of("bool", rank=rank)
+            return WEAK_SCALAR
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            if base.kind == ARRAY:
+                rank = base.rank if isinstance(node.slice, ast.Slice) else None
+                return AbstractValue(ARRAY, base.dtypes, rank, base.platform_default)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                self.eval(element, env)
+            return pylist()
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self.eval(key, env)
+            for value in node.values:
+                self.eval(value, env)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node, env)
+        if isinstance(node, ast.Slice):
+            self.eval(node.lower, env)
+            self.eval(node.upper, env)
+            self.eval(node.step, env)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.eval(value.value, env)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, env)
+            env[node.target.id] = value
+            return value
+        return UNKNOWN
+
+    def _eval_comprehension(self, node: ast.expr, env: dict) -> AbstractValue:
+        child = dict(env)
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self.eval(generator.iter, child)
+            self._bind(generator.target, UNKNOWN, child)
+            for condition in generator.ifs:
+                self.eval(condition, child)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key, child)
+            self.eval(node.value, child)
+            return UNKNOWN
+        self.eval(node.elt, child)  # type: ignore[attr-defined]
+        return pylist() if isinstance(node, ast.ListComp) else UNKNOWN
+
+    # -- names, attributes ---------------------------------------------------
+
+    def _resolve_name(self, name: str) -> AbstractValue:
+        resolved = self.imports.resolve(name)
+        value = self.shared.globals.get(resolved)
+        if value is not None:
+            return value
+        if resolved == name:
+            value = self.shared.globals.get(f"{self.module_name}.{name}")
+            if value is not None:
+                return value
+        return self._numpy_attr_value(resolved)
+
+    def _numpy_attr_value(self, resolved: str) -> AbstractValue:
+        if resolved.startswith("numpy."):
+            attr = resolved[len("numpy."):]
+            canonical = _NUMPY_DTYPE_ATTRS.get(attr)
+            if canonical is not None:
+                return dtype_of(canonical)
+        return UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute, env: dict) -> AbstractValue:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            head = dotted.split(".", 1)[0]
+            if head not in env:
+                resolved = self.imports.resolve(dotted)
+                value = self.shared.globals.get(resolved)
+                if value is not None:
+                    return value
+                return self._numpy_attr_value(resolved)
+        base = self.eval(node.value, env)
+        return self._attr_on_value(base, node.attr)
+
+    def _attr_on_value(self, base: AbstractValue, attr: str) -> AbstractValue:
+        if base.kind == SELF:
+            contract = None
+            if self._self_class == "FastpathSnapshot":
+                contract = self._snapshot_contract.get(attr)
+            elif self._self_class in ("DeltaSnapshot", "_Slab"):
+                contract = self._mirror_contract.get(attr)
+            if contract is not None:
+                return array_of(*contract)
+            return UNKNOWN
+        if base.kind == ARRAY:
+            if attr == "dtype":
+                return dtype_of(*base.dtypes) if base.dtypes else AbstractValue(DTYPE)
+            if attr == "T":
+                return base
+            if attr in ("size", "ndim", "nbytes", "itemsize"):
+                return WEAK_SCALAR
+        return UNKNOWN
+
+    # -- calls ---------------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call, env: dict) -> AbstractValue:
+        arg_values = [self.eval(arg, env) for arg in call.args]
+        kwarg_values = {kw.arg: self.eval(kw.value, env) for kw in call.keywords}
+
+        func = call.func
+        dotted = dotted_name(func)
+        if dotted is not None:
+            head = dotted.split(".", 1)[0]
+            if head not in env:
+                return self._call_resolved(
+                    call, self.imports.resolve(dotted), arg_values, kwarg_values, env
+                )
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value, env)
+            return self._method_call(call, func.attr, base, arg_values, kwarg_values, env)
+        # Calls through arbitrary expressions (lambdas, subscripted tables).
+        return UNKNOWN
+
+    def _call_resolved(
+        self,
+        call: ast.Call,
+        resolved: str,
+        args: list[AbstractValue],
+        kwargs: dict,
+        env: dict,
+    ) -> AbstractValue:
+        if resolved.startswith("numpy."):
+            return self._numpy_call(call, resolved[len("numpy."):], args, kwargs, env)
+        summary = self.shared.summaries.get(resolved)
+        if summary is None and "." not in resolved:
+            summary = self.shared.summaries.get(f"{self.module_name}.{resolved}")
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail == "FastpathSnapshot":
+            self._check_snapshot_constructor(call, env)
+            return UNKNOWN
+        if summary is not None:
+            return summary
+        if tail in ("sorted", "list", "tuple", "set") and resolved == tail:
+            return pylist()
+        if tail in ("len", "int", "float", "bool", "sum", "max", "min", "abs", "round") and resolved == tail:
+            return WEAK_SCALAR
+        return UNKNOWN
+
+    def _method_call(
+        self,
+        call: ast.Call,
+        attr: str,
+        base: AbstractValue,
+        args: list[AbstractValue],
+        kwargs: dict,
+        env: dict,
+    ) -> AbstractValue:
+        if base.kind == DTYPE and attr == "type":
+            return scalar_of(*base.dtypes)
+        if base.kind == SELF and self._self_class is not None:
+            summary = self.shared.summaries.get(
+                f"{self.module_name}.{self._self_class}.{attr}"
+            )
+            if summary is not None:
+                return summary
+        if attr == "astype":
+            names = self._dtype_names(call.args[0], env) if call.args else self._dtype_kwarg_names(call, env)
+            rank = base.rank if base.kind == ARRAY else None
+            return AbstractValue(ARRAY, names, rank)
+        if base.kind == ARRAY:
+            if attr in _SAME_DTYPE_METHODS:
+                return AbstractValue(ARRAY, base.dtypes, None, base.platform_default)
+            if attr in _REDUCTIONS:
+                return self._reduction_result(call, attr, base, env)
+            if attr in _INTP_METHODS:
+                return array_of("int64", platform_default=True)
+            if attr in ("all", "any"):
+                return array_of("bool")
+            if attr in ("mean", "std", "var"):
+                return array_of("float64")
+            if attr in ("tolist", "item"):
+                return WEAK_SCALAR if attr == "item" else pylist()
+            return UNKNOWN
+        method = self.shared.method_summary(attr)
+        if method is not None:
+            return method
+        return UNKNOWN
+
+    def _numpy_call(
+        self,
+        call: ast.Call,
+        name: str,
+        args: list[AbstractValue],
+        kwargs: dict,
+        env: dict,
+    ) -> AbstractValue:
+        operand = args[0] if args else UNKNOWN
+        if name == "dtype":
+            return dtype_of(*self._dtype_names(call.args[0], env)) if call.args else AbstractValue(DTYPE)
+        canonical = _NUMPY_DTYPE_ATTRS.get(name)
+        if canonical is not None:
+            return scalar_of(canonical)
+        if name in _DEFAULT_CONSTRUCTORS:
+            names = self._dtype_kwarg_names(call, env, positional=None)
+            if not self._has_dtype_argument(call):
+                self._emit(
+                    DEFAULT_DTYPE,
+                    call,
+                    f"np.{name} without dtype= takes a platform-dependent "
+                    f"default; state the contract dtype explicitly",
+                )
+                default = "float64" if name not in ("arange", "full") else "int64"
+                return array_of(default, platform_default=True)
+            return AbstractValue(ARRAY, names)
+        if name in _LIKE_CONSTRUCTORS:
+            if self._has_dtype_argument(call):
+                return AbstractValue(ARRAY, self._dtype_kwarg_names(call, env))
+            return AbstractValue(ARRAY, operand.dtypes, operand.rank, operand.platform_default)
+        if name in _ARRAY_CONSTRUCTORS:
+            if self._has_dtype_argument(call):
+                return AbstractValue(ARRAY, self._dtype_kwarg_names(call, env))
+            if operand.kind == ARRAY:
+                return operand
+            if operand.kind in (PYLIST, SCALAR):
+                self._emit(
+                    DEFAULT_DTYPE,
+                    call,
+                    f"np.{name} of a non-array operand without dtype= takes "
+                    f"a platform-dependent default",
+                )
+                return AbstractValue(ARRAY, frozenset(), None, True)
+            return AbstractValue(ARRAY)
+        if name == "fromiter":
+            # dtype is a required positional/keyword argument by signature.
+            names = self._dtype_kwarg_names(call, env, positional=1)
+            return AbstractValue(ARRAY, names, 1)
+        if name in _INTP_FUNCS:
+            return array_of("int64", platform_default=True)
+        if name == "nonzero":
+            return UNKNOWN  # tuple of intp arrays
+        if name in _REDUCTIONS:
+            return self._reduction_result(call, name, operand, env)
+        if name in _SAME_DTYPE_FUNCS:
+            return AbstractValue(ARRAY, operand.dtypes, None, operand.platform_default)
+        if name in _BINOP_FUNCS:
+            right = args[1] if len(args) > 1 else UNKNOWN
+            return self._binop_result(call, operand, right)
+        if name in _BOOL_FUNCS:
+            return array_of("bool")
+        if name in _FLOAT_FUNCS:
+            return array_of("float64")
+        if name in _CONCAT_FUNCS:
+            return self._concat_result(call, env)
+        if name == "where":
+            return self._where_result(call, args)
+        if name == "array_equal":
+            return WEAK_SCALAR
+        return UNKNOWN
+
+    # -- dtype arguments -----------------------------------------------------
+
+    def _has_dtype_argument(self, call: ast.Call) -> bool:
+        return any(kw.arg == "dtype" for kw in call.keywords)
+
+    def _dtype_kwarg_names(
+        self, call: ast.Call, env: dict, positional: int | None = None
+    ) -> frozenset:
+        for kw in call.keywords:
+            if kw.arg == "dtype":
+                return self._dtype_names(kw.value, env)
+        if positional is not None and len(call.args) > positional:
+            return self._dtype_names(call.args[positional], env)
+        return frozenset()
+
+    def _dtype_names(self, node: ast.expr, env: dict) -> frozenset:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                return frozenset({np.dtype(node.value).name})
+            except TypeError:
+                return frozenset()
+        if isinstance(node, ast.Name) and node.id not in env:
+            builtin = _BUILTIN_DTYPE_NAMES.get(node.id)
+            if builtin is not None:
+                return frozenset({builtin})
+        value = self.eval(node, env)
+        if value.kind == DTYPE:
+            return value.dtypes
+        return frozenset()
+
+    # -- the checks ----------------------------------------------------------
+
+    def _binop_result(
+        self, node: ast.AST, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue:
+        if left.kind == ARRAY and right.kind == ARRAY:
+            if definitely_widens(left.dtypes, right.dtypes):
+                self._emit(
+                    SILENT_UPCAST,
+                    node,
+                    f"combining {'|'.join(sorted(left.dtypes))} with "
+                    f"{'|'.join(sorted(right.dtypes))} arrays silently widens "
+                    f"the narrow operand; align dtypes or cast explicitly",
+                )
+            rank = left.rank if left.rank == right.rank else None
+            return AbstractValue(
+                ARRAY,
+                promote_sets(left.dtypes, right.dtypes),
+                rank,
+                left.platform_default or right.platform_default,
+            )
+        if left.kind == ARRAY:
+            # NEP 50: weak Python scalars adopt the array's dtype; typed
+            # scalars promote like a zero-dimensional array.
+            if right.kind == SCALAR and right.dtypes:
+                return AbstractValue(
+                    ARRAY, promote_sets(left.dtypes, right.dtypes), left.rank
+                )
+            return left
+        if right.kind == ARRAY:
+            if left.kind == SCALAR and left.dtypes:
+                return AbstractValue(
+                    ARRAY, promote_sets(left.dtypes, right.dtypes), right.rank
+                )
+            return right
+        if left.kind == SCALAR and right.kind == SCALAR:
+            return WEAK_SCALAR if not (left.dtypes or right.dtypes) else AbstractValue(
+                SCALAR, promote_sets(left.dtypes, right.dtypes) if left.dtypes and right.dtypes else (left.dtypes | right.dtypes)
+            )
+        return UNKNOWN
+
+    def _reduction_result(
+        self, call: ast.Call, name: str, operand: AbstractValue, env: dict
+    ) -> AbstractValue:
+        has_out = any(kw.arg == "out" for kw in call.keywords)
+        if self._has_dtype_argument(call):
+            return AbstractValue(ARRAY, self._dtype_kwarg_names(call, env))
+        if has_out:
+            return UNKNOWN
+        if operand.kind == ARRAY and narrow_int_only(operand.dtypes):
+            self._emit(
+                SILENT_UPCAST,
+                call,
+                f"{name} on {'|'.join(sorted(operand.dtypes))} promotes to "
+                f"the platform intp; pass dtype= or out= to pin the width",
+            )
+            return array_of("int64", platform_default=True)
+        if operand.kind == ARRAY and operand.dtypes:
+            if all(np.dtype(d).kind in "bi" for d in operand.dtypes):
+                return array_of("int64", platform_default=True)
+            return AbstractValue(ARRAY, operand.dtypes)
+        return AbstractValue(ARRAY)
+
+    def _concat_result(self, call: ast.Call, env: dict) -> AbstractValue:
+        elements: list[AbstractValue] = []
+        if call.args and isinstance(call.args[0], (ast.List, ast.Tuple)):
+            elements = [self.eval(element, env) for element in call.args[0].elts]
+        definite = [value for value in elements if value.is_definite_array]
+        self._check_mixed(call, definite, "concatenating")
+        if definite and len(definite) == len(elements):
+            combined = definite[0].dtypes
+            for value in definite[1:]:
+                combined = promote_sets(combined, value.dtypes)
+            return AbstractValue(ARRAY, combined)
+        return AbstractValue(ARRAY)
+
+    def _where_result(self, call: ast.Call, args: list[AbstractValue]) -> AbstractValue:
+        if len(args) != 3:
+            return UNKNOWN
+        branches = [value for value in args[1:] if value.is_definite_array]
+        self._check_mixed(call, branches, "selecting between")
+        if len(branches) == 2:
+            return AbstractValue(ARRAY, promote_sets(branches[0].dtypes, branches[1].dtypes))
+        # A weak scalar branch adopts the array branch's dtype (NEP 50).
+        array_branches = [value for value in args[1:] if value.kind == ARRAY]
+        if len(array_branches) == 1 and all(
+            value.kind == SCALAR and not value.dtypes
+            for value in args[1:] if value is not array_branches[0]
+        ):
+            return array_branches[0]
+        return AbstractValue(ARRAY)
+
+    def _check_mixed(self, call: ast.Call, values: list[AbstractValue], verb: str) -> None:
+        for index, left in enumerate(values):
+            for right in values[index + 1:]:
+                if definitely_widens(left.dtypes, right.dtypes):
+                    self._emit(
+                        MIXED_CONCAT,
+                        call,
+                        f"{verb} {'|'.join(sorted(left.dtypes))} and "
+                        f"{'|'.join(sorted(right.dtypes))} operands promotes "
+                        f"every element to the widest dtype",
+                    )
+                    return
+
+    def _check_snapshot_constructor(self, call: ast.Call, env: dict) -> None:
+        for kw in call.keywords:
+            allowed = self._snapshot_contract.get(kw.arg or "")
+            if allowed is None:
+                continue
+            value = self.eval(kw.value, env)
+            if not value.is_definite_array:
+                continue
+            if value.dtypes & allowed:
+                continue
+            self._emit(
+                CONTRACT_MISMATCH,
+                kw.value,
+                f"FastpathSnapshot field `{kw.arg}` built as "
+                f"{'|'.join(sorted(value.dtypes))}, contract allows "
+                f"{'|'.join(sorted(allowed))} (repro/fastpath/dtypes.py)",
+            )

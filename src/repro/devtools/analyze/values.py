@@ -1,0 +1,177 @@
+"""The abstract value lattice ``repro analyze`` interprets over.
+
+Every binding is summarised as an :class:`AbstractValue`: what *kind* of
+thing it is (ndarray, scalar, dtype object, plain Python sequence, ``self``,
+or unknown), which NumPy dtypes it may carry, an optional rank, and whether
+its dtype came from a platform-dependent default.  The lattice is
+deliberately coarse — checks only fire on **definite** facts (non-empty
+dtype sets with no overlap, widths that differ for every combination), so
+joining to :data:`UNKNOWN` is always sound: it can only hide findings,
+never invent them.
+
+Promotion uses NumPy's own :func:`numpy.promote_types` over the cartesian
+product of the operand dtype sets, which keeps the model exactly as strong
+as the NumPy the repo runs under (NEP 50 semantics: Python scalars are
+*weak* — ``dtypes == frozenset()`` — and never widen an array operand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ARRAY",
+    "SCALAR",
+    "DTYPE",
+    "PYLIST",
+    "SELF",
+    "UNKNOWN_KIND",
+    "AbstractValue",
+    "UNKNOWN",
+    "WEAK_SCALAR",
+    "array_of",
+    "scalar_of",
+    "dtype_of",
+    "pylist",
+    "self_value",
+    "join",
+    "promote_sets",
+    "definitely_widens",
+    "narrow_int_only",
+]
+
+ARRAY = "array"
+SCALAR = "scalar"
+DTYPE = "dtype"  # a value that *is* a dtype object (np.int32, label_dtype(n))
+PYLIST = "pylist"  # a plain Python sequence (list literal, sorted(), list())
+SELF = "self"  # the receiver inside a method body
+UNKNOWN_KIND = "unknown"
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One binding's abstract state; immutable so values share freely."""
+
+    kind: str = UNKNOWN_KIND
+    #: Possible dtype names.  Empty set means "dtype unknown" for arrays and
+    #: "weak Python scalar" (never promotes an array operand) for scalars.
+    dtypes: frozenset = field(default_factory=frozenset)
+    rank: int | None = None
+    #: Whether the dtype was chosen by a platform-dependent default.
+    platform_default: bool = False
+
+    @property
+    def is_definite_array(self) -> bool:
+        return self.kind == ARRAY and bool(self.dtypes)
+
+
+UNKNOWN = AbstractValue()
+WEAK_SCALAR = AbstractValue(kind=SCALAR)
+
+
+def array_of(*dtypes: str, rank: int | None = None, platform_default: bool = False) -> AbstractValue:
+    return AbstractValue(ARRAY, frozenset(dtypes), rank, platform_default)
+
+
+def scalar_of(*dtypes: str) -> AbstractValue:
+    return AbstractValue(SCALAR, frozenset(dtypes))
+
+
+def dtype_of(*names: str) -> AbstractValue:
+    return AbstractValue(DTYPE, frozenset(names))
+
+
+def pylist() -> AbstractValue:
+    return AbstractValue(PYLIST)
+
+
+def self_value() -> AbstractValue:
+    return AbstractValue(SELF)
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two abstract values (control-flow merge)."""
+    if a is b:
+        return a
+    if a.kind != b.kind:
+        return UNKNOWN
+    dtypes = a.dtypes | b.dtypes
+    # One branch knowing the dtype and the other not means we do not know it.
+    if (a.dtypes and not b.dtypes) or (b.dtypes and not a.dtypes):
+        dtypes = frozenset()
+    return AbstractValue(
+        kind=a.kind,
+        dtypes=dtypes,
+        rank=a.rank if a.rank == b.rank else None,
+        platform_default=a.platform_default or b.platform_default,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Promotion (delegates to the running NumPy)
+# --------------------------------------------------------------------------- #
+
+
+def _promote_pair(a: str, b: str) -> str | None:
+    try:
+        return np.promote_types(a, b).name
+    except TypeError:
+        return None
+
+
+def promote_sets(a: frozenset, b: frozenset) -> frozenset:
+    """All dtypes ``a`` op ``b`` may produce (empty when either is unknown)."""
+    if not a or not b:
+        return frozenset()
+    result = set()
+    for x in a:
+        for y in b:
+            promoted = _promote_pair(x, y)
+            if promoted is None:
+                return frozenset()
+            result.add(promoted)
+    return frozenset(result)
+
+
+def _int_width(name: str) -> int | None:
+    """Bit width for signed-integer dtype names; None for anything else."""
+    try:
+        dtype = np.dtype(name)
+    except TypeError:
+        return None
+    if dtype.kind != "i":
+        return None
+    return dtype.itemsize * 8
+
+
+def narrow_int_only(dtypes: frozenset) -> bool:
+    """Whether every possible dtype is a signed int narrower than 64 bits.
+
+    ``bool`` operands are excluded on purpose: summing a mask to count
+    entries is the idiomatic use of the platform default, not an accident.
+    """
+    if not dtypes:
+        return False
+    widths = [_int_width(name) for name in dtypes]
+    return all(width is not None and width < 64 for width in widths)
+
+
+def definitely_widens(a: frozenset, b: frozenset) -> bool:
+    """Whether combining the two operand sets *always* widens one operand.
+
+    True only when both sets are known, every dtype on both sides is a
+    signed integer, and every cross-pair has differing widths — so whatever
+    the runtime dtypes turn out to be, the narrower side is silently upcast.
+    Parametric values like ``{int32, int64}`` (the contract dtypes) pair
+    with ``int64`` without firing, because the ``int64``/``int64`` combination
+    does not widen.
+    """
+    if not a or not b:
+        return False
+    widths_a = [_int_width(name) for name in a]
+    widths_b = [_int_width(name) for name in b]
+    if any(w is None for w in widths_a) or any(w is None for w in widths_b):
+        return False
+    return all(wa != wb for wa in widths_a for wb in widths_b)

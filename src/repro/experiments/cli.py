@@ -180,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the NumPy dtype/shape dataflow analyzer over the fastpath, "
+        "faults and overlay packages (exit 0: clean; exit 1: findings; "
+        "exit 2: usage error)",
+    )
+    from repro.devtools.analyze.cli import add_analyze_arguments
+
+    add_analyze_arguments(analyze)
+
     # -- legacy per-figure aliases ------------------------------------------
 
     figure5 = subparsers.add_parser("figure5", help="link-length distribution of the §5 heuristic")
@@ -583,12 +593,19 @@ def _run_lint(args) -> int:
     return run_lint(args)
 
 
+def _run_analyze(args) -> int:
+    from repro.devtools.analyze.cli import run_analyze
+
+    return run_analyze(args)
+
+
 _DISPATCH = {
     "list": _run_list,
     "run": _run_scenario,
     "sweep": _run_sweep,
     "bench-diff": _run_bench_diff,
     "lint": _run_lint,
+    "analyze": _run_analyze,
     "figure5": _run_figure5,
     "figure6": _run_figure6,
     "figure7": _run_figure7,
@@ -625,7 +642,7 @@ def main_dispatch(args) -> int | None:
 
     Returns the handler's exit code; most handlers return ``None`` (success).
     ``bench-diff`` returns 1 when a metric regresses past ``--fail-over``;
-    ``lint`` returns 1 on findings and 2 on usage errors.
+    ``lint`` and ``analyze`` return 1 on findings and 2 on usage errors.
     """
     return _DISPATCH[args.command](args)
 

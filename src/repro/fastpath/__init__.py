@@ -58,6 +58,13 @@ from repro.fastpath.batch_router import (
 )
 from repro.fastpath.builder import build_snapshot
 from repro.fastpath.delta import DeltaRecorder, DeltaSnapshot, SnapshotDelta
+from repro.fastpath.dtypes import (
+    SNAPSHOT_CONTRACT,
+    expected_snapshot_dtypes,
+    indptr_dtype,
+    label_dtype,
+    snapshot_nbytes,
+)
 from repro.fastpath.failures import apply_node_failures, sample_node_failures
 from repro.fastpath.snapshot import FastpathSnapshot, compile_snapshot
 
@@ -65,6 +72,11 @@ __all__ = [
     "FastpathSnapshot",
     "compile_snapshot",
     "build_snapshot",
+    "SNAPSHOT_CONTRACT",
+    "label_dtype",
+    "indptr_dtype",
+    "expected_snapshot_dtypes",
+    "snapshot_nbytes",
     "BatchGreedyRouter",
     "BatchRouteResult",
     "FAILURE_CODES",

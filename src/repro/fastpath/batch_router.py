@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -99,7 +100,8 @@ class BatchRouteResult:
         ``int8[num_queries]`` — :data:`FAILURE_CODES` encoding of the failure
         reason (0 on success).
     final:
-        ``int64[num_queries]`` — label of the node each message stopped at.
+        ``label_dtype(space_size)[num_queries]`` — label of the node each
+        message stopped at (the snapshot's label dtype).
     paths:
         Per-query visited-label lists when the run recorded paths, else
         ``None`` (recording is intended for parity tests, not bulk runs).
@@ -321,7 +323,9 @@ class BatchGreedyRouter:
         self._pool_cache = None
         self._edge_valid_cache = None
 
-    def _valid_matrix(self, matrices) -> np.ndarray:
+    def _valid_matrix(
+        self, matrices: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> np.ndarray:
         """The padding-validity matrix with dead *edges* masked out, cached.
 
         With no ``edge_alive`` mask this is the plain padding mask; with one,
@@ -336,15 +340,17 @@ class BatchGreedyRouter:
             _dense, valid, _labels = matrices
             edge_ok = valid.copy()
             degrees = snapshot.degrees()
-            rows = np.repeat(np.arange(snapshot.num_nodes), degrees)
-            offsets = np.arange(snapshot.neighbor_indices.shape[0]) - np.repeat(
-                snapshot.neighbor_indptr[:-1], degrees
-            )
+            rows = np.repeat(np.arange(snapshot.num_nodes, dtype=np.int64), degrees)
+            offsets = np.arange(
+                snapshot.neighbor_indices.shape[0], dtype=np.int64
+            ) - np.repeat(snapshot.neighbor_indptr[:-1], degrees)
             edge_ok[rows, offsets] = snapshot.edge_alive
             self._edge_valid_cache = edge_ok
         return self._edge_valid_cache
 
-    def _usable_matrix(self, matrices) -> np.ndarray:
+    def _usable_matrix(
+        self, matrices: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> np.ndarray:
         """Edge-validity with dead neighbours also masked out, cached per router.
 
         The snapshot's ``alive`` mask is immutable, so in the lenient
@@ -380,7 +386,7 @@ class BatchGreedyRouter:
     # ------------------------------------------------------------------ #
 
     def route_pairs(
-        self, pairs, record_paths: bool = False
+        self, pairs: Iterable[tuple[int, int]], record_paths: bool = False
     ) -> BatchRouteResult:
         """Route a sequence of (source, target) label pairs."""
         array = np.asarray(list(pairs), dtype=np.int64)
@@ -399,8 +405,8 @@ class BatchGreedyRouter:
 
     def route_batch(
         self,
-        sources,
-        targets,
+        sources: np.ndarray,
+        targets: np.ndarray,
         record_paths: bool = False,
     ) -> BatchRouteResult:
         """Route every ``sources[i] -> targets[i]`` query and return all outcomes.
@@ -496,7 +502,15 @@ class BatchGreedyRouter:
     # ------------------------------------------------------------------ #
 
     def _run_forward(
-        self, active, current, target_index, success, hops, codes, reroutes, paths
+        self,
+        active: np.ndarray,
+        current: np.ndarray,
+        target_index: np.ndarray,
+        success: np.ndarray,
+        hops: np.ndarray,
+        codes: np.ndarray,
+        reroutes: np.ndarray,
+        paths: list[list[int]] | None,
     ) -> None:
         """Lock-step greedy forwarding with optional random re-route detours.
 
@@ -584,11 +598,18 @@ class BatchGreedyRouter:
             else:
                 pool = np.flatnonzero(self.snapshot.alive).astype(np.int64)
             position = np.full(self.snapshot.num_nodes, -1, dtype=np.int64)
-            position[pool] = np.arange(pool.size)
+            position[pool] = np.arange(pool.size, dtype=np.int64)
             self._pool_cache = (pool, position)
         return self._pool_cache
 
-    def _draw_detours(self, pending, current, detour, codes, reroutes) -> np.ndarray:
+    def _draw_detours(
+        self,
+        pending: np.ndarray,
+        current: np.ndarray,
+        detour: np.ndarray,
+        codes: np.ndarray,
+        reroutes: np.ndarray,
+    ) -> np.ndarray:
         """Draw a detour target for every frozen query, in query order.
 
         Reproduces ``GreedyRouter._pick_random_live_node`` per query: a
@@ -619,7 +640,15 @@ class BatchGreedyRouter:
     # ------------------------------------------------------------------ #
 
     def _run_backtrack(
-        self, active, current, target_index, success, hops, codes, backtracks, paths
+        self,
+        active: np.ndarray,
+        current: np.ndarray,
+        target_index: np.ndarray,
+        success: np.ndarray,
+        hops: np.ndarray,
+        codes: np.ndarray,
+        backtracks: np.ndarray,
+        paths: list[list[int]] | None,
     ) -> None:
         """Lock-step greedy routing with per-query backtracking state.
 
@@ -719,11 +748,11 @@ class BatchGreedyRouter:
 
     def _backtrack_select(
         self,
-        matrices,
-        alive,
-        active,
-        current,
-        target_index,
+        matrices: tuple[np.ndarray, np.ndarray, np.ndarray],
+        alive: np.ndarray,
+        active: np.ndarray,
+        current: np.ndarray,
+        target_index: np.ndarray,
         tried: _PrefixTable,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pick each active query's next untried candidate, consuming prefixes.
@@ -736,7 +765,7 @@ class BatchGreedyRouter:
         neighbors, valid, keyed, blocked = self._candidate_keys(
             matrices, cur, target_index[active]
         )
-        row = np.arange(active.size)
+        row = np.arange(active.size, dtype=np.int64)
 
         # Fast path — by far the most common case: the query is visiting this
         # node for the first time (nothing consumed), so the scalar router
@@ -775,7 +804,12 @@ class BatchGreedyRouter:
         return chosen, new_consumed, cur, stuck
 
     def _backtrack_select_full(
-        self, neighbors, keyed, blocked, alive, consumed
+        self,
+        neighbors: np.ndarray,
+        keyed: np.ndarray,
+        blocked: np.generic,
+        alive: np.ndarray,
+        consumed: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The general prefix-consuming selection for revisited/degraded rows."""
         # Stable argsort by distance == the scalar router's stable
@@ -805,9 +839,9 @@ class BatchGreedyRouter:
         candidate_count = distinct.sum(axis=1).astype(np.int64)
         # 0-based rank of each distinct candidate in distance order (garbage
         # in non-distinct slots; every use below is masked by ``distinct``).
-        rank = distinct.cumsum(axis=1) - 1
+        rank = distinct.cumsum(axis=1, dtype=np.int64) - 1
 
-        row = np.arange(neighbors.shape[0])
+        row = np.arange(neighbors.shape[0], dtype=np.int64)
         if self.strict_best_neighbor:
             # The node commits to its single best untried candidate: the
             # candidate is consumed either way, and a dead pick means the
@@ -905,7 +939,7 @@ class BatchGreedyRouter:
         # First minimum along the row == the scalar router's stable
         # sort-by-distance with earliest-neighbour tie-break.
         pick = np.argmin(keyed, axis=1)
-        row = np.arange(current.shape[0])
+        row = np.arange(current.shape[0], dtype=np.int64)
         has_candidate = keyed[row, pick] < blocked
         chosen = neighbors[row, pick]
 

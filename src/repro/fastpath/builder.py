@@ -39,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.distributions import InversePowerLawDistribution
+from repro.fastpath.dtypes import narrow_indptr, narrow_labels
 from repro.fastpath.snapshot import FastpathSnapshot
 from repro.telemetry.core import spanned as telemetry_spanned
 from repro.util.rng import spawn_rng
@@ -166,7 +167,7 @@ def build_snapshot(
     if short_count == 2:
         indices[base + 1] = right
     if edge_source.size:
-        rank = keep.cumsum(axis=1) - 1
+        rank = keep.cumsum(axis=1, dtype=np.int64) - 1
         long_positions = (base[:, None] + short_count + rank).ravel()[flat_keep]
         indices[long_positions] = edge_target
     if in_source.size:
@@ -177,12 +178,15 @@ def build_snapshot(
             in_source
         )
 
+    # Assembly arithmetic above must stay int64 (the reciprocal-link keys
+    # pack source * n + target, up to n**2); storage narrows to the contract
+    # dtypes only here, at the snapshot boundary.
     return FastpathSnapshot(
         kind="ring",
         space_size=n,
-        labels=labels,
+        labels=narrow_labels(labels, n),
         alive=np.ones(n, dtype=bool),
-        neighbor_indptr=indptr,
+        neighbor_indptr=narrow_indptr(indptr),
         neighbor_indices=indices,
         symmetric_neighbors=symmetric_neighbors,
     )

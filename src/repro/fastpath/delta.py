@@ -55,11 +55,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.core.graph import OverlayGraph
 from repro.core.metric import LineMetric, RingMetric
+from repro.fastpath.dtypes import label_dtype, narrow_indptr, narrow_labels
 from repro.fastpath.snapshot import FastpathSnapshot
 from repro.telemetry.core import current as telemetry_current
 
@@ -288,7 +290,10 @@ class _Slab:
     SLACK = 4
 
     def __init__(
-        self, rows: list[list[int]], row_flags: list[list[bool]] | None = None
+        self,
+        rows: list[list[int]],
+        row_flags: list[list[bool]] | None = None,
+        dtype: np.dtype | type = np.int64,
     ) -> None:
         n = len(rows)
         counts = [len(row) for row in rows]
@@ -298,7 +303,10 @@ class _Slab:
         for i in range(n):
             offsets[i] = running
             running += caps[i]
-        data = np.zeros(running + max(64, running // 4), dtype=np.int64)
+        # The payload dtype is the caller's contract (label_dtype for mirror
+        # slabs); relocation and compaction inherit it instead of silently
+        # re-widening to int64.
+        data = np.zeros(running + max(64, running // 4), dtype=dtype)
         flags = np.ones(data.size, dtype=bool)
         for i, row in enumerate(rows):
             if row:
@@ -444,7 +452,7 @@ class _Slab:
         new_cap = max(2 * count, count + self.SLACK)
         if self._tail + new_cap > self.data.size:
             size = max(2 * self.data.size, self._tail + new_cap + 64)
-            grown = np.zeros(size, dtype=np.int64)
+            grown = np.zeros(size, dtype=self.data.dtype)
             grown[: self._tail] = self.data[: self._tail]
             grown_flags = np.ones(size, dtype=bool)
             grown_flags[: self._tail] = self.flags[: self._tail]
@@ -466,7 +474,7 @@ class _Slab:
         rows = [self.row(i).tolist() for i in range(len(self.counts))]
         # repro: allow[RPR005] — rare compaction; _Slab wants list-of-lists
         row_flags = [self.row_flags(i).tolist() for i in range(len(self.counts))]
-        rebuilt = _Slab(rows, row_flags)
+        rebuilt = _Slab(rows, row_flags, dtype=self.data.dtype)
         self.offsets = rebuilt.offsets
         self.counts = rebuilt.counts
         self.caps = rebuilt.caps
@@ -572,10 +580,11 @@ class DeltaSnapshot:
         mirror.space_size = space.size()
         mirror.symmetric_neighbors = symmetric_neighbors
         n = mirror.space_size
+        pointer_dtype = label_dtype(n)
         mirror._occupied = np.zeros(n, dtype=bool)
         mirror._alive = np.zeros(n, dtype=bool)
-        mirror._left = np.full(n, -1, dtype=np.int64)
-        mirror._right = np.full(n, -1, dtype=np.int64)
+        mirror._left = np.full(n, -1, dtype=pointer_dtype)
+        mirror._right = np.full(n, -1, dtype=pointer_dtype)
         long_rows: list[list[int]] = [[] for _ in range(n)]
         long_flags: list[list[bool]] = [[] for _ in range(n)]
         incoming_rows: list[list[int]] = [[] for _ in range(n)]
@@ -595,8 +604,8 @@ class DeltaSnapshot:
             entries = graph.incoming_entries(label)
             incoming_rows[label] = [source for source, _alive in entries]
             incoming_flags[label] = [alive for _source, alive in entries]
-        mirror._long = _Slab(long_rows, long_flags)
-        mirror._incoming = _Slab(incoming_rows, incoming_flags)
+        mirror._long = _Slab(long_rows, long_flags, dtype=pointer_dtype)
+        mirror._incoming = _Slab(incoming_rows, incoming_flags, dtype=pointer_dtype)
         return mirror
 
     @classmethod
@@ -620,7 +629,7 @@ class DeltaSnapshot:
         return mirror
 
     @classmethod
-    def from_overlay(cls, overlay) -> "DeltaSnapshot":
+    def from_overlay(cls, overlay: Any) -> "DeltaSnapshot":
         """Mirror a table-based Overlay (liveness tier + ``OP_REBUILD``).
 
         Like :meth:`from_snapshot` of ``overlay.compile_snapshot()``, but the
@@ -814,7 +823,7 @@ class DeltaSnapshot:
                 )
         return self._mask_edge_alive
 
-    def crash(self, labels) -> None:
+    def crash(self, labels: Iterable[int] | np.ndarray) -> None:
         """Convenience bulk crash (both tiers): flip the labels' alive bits off.
 
         Mirrors ``overlay.fail_node`` calls made *without* a recorder; do not
@@ -825,7 +834,7 @@ class DeltaSnapshot:
         else:
             self._mask_alive[self._base.indices_of(np.asarray(labels))] = False
 
-    def revive(self, labels) -> None:
+    def revive(self, labels: Iterable[int] | np.ndarray) -> None:
         """Convenience bulk revive (both tiers): flip the labels' alive bits on."""
         if self.structural:
             self._alive[np.asarray(labels, dtype=np.int64)] = True
@@ -964,12 +973,15 @@ class DeltaSnapshot:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
 
+        # Materialization arithmetic stays int64 (cumsum offsets, direct
+        # addressing); storage narrows to the contract dtypes at the boundary,
+        # matching compile_snapshot so the parity contract covers dtypes too.
         return FastpathSnapshot(
             kind=self.kind,
             space_size=self.space_size,
-            labels=labels,
+            labels=narrow_labels(labels, self.space_size),
             alive=self._alive[labels],
-            neighbor_indptr=indptr,
+            neighbor_indptr=narrow_indptr(indptr),
             neighbor_indices=indices,
             symmetric_neighbors=self.symmetric_neighbors,
         )
@@ -1091,6 +1103,7 @@ class DeltaSnapshot:
         # duplicate.  When (row, value) packs into 31 bits — every small and
         # medium overlay — one packed radix sort replaces the two passes.
         if n * self.space_size < (1 << 31):
+            # repro: allow[RPA101] rows stays int64 for fancy indexing; the widened product is guarded to fit and narrowed here
             packed = (rows * self.space_size + values).astype(np.int32)
             order = np.argsort(packed, kind="stable")
         else:

@@ -21,6 +21,8 @@ omitted at compile time).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.fastpath.snapshot import FastpathSnapshot
@@ -34,7 +36,7 @@ def sample_node_failures(
     snapshot: FastpathSnapshot,
     failure_level: float,
     mode: str = "fraction",
-    protect=(),
+    protect: Sequence[int] = (),
     seed: int = 0,
 ) -> np.ndarray:
     """Sample a boolean *failed* mask over the snapshot's vertices.
@@ -68,7 +70,7 @@ def sample_node_failures(
     rng = spawn_rng(seed, "node-failures")
     candidates = snapshot.alive.copy()
     if len(protect):
-        candidates[snapshot.indices_of(np.asarray(list(protect)))] = False
+        candidates[snapshot.indices_of(np.asarray(list(protect), dtype=np.int64))] = False
     candidate_indices = np.flatnonzero(candidates)
 
     failed = np.zeros(snapshot.num_nodes, dtype=bool)
@@ -90,7 +92,7 @@ def apply_node_failures(
     snapshot: FastpathSnapshot,
     failure_level: float,
     mode: str = "fraction",
-    protect=(),
+    protect: Sequence[int] = (),
     seed: int = 0,
 ) -> FastpathSnapshot:
     """Return a derived snapshot with a fraction of its live vertices failed.

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.graph import OverlayGraph
 from repro.core.metric import LineMetric, RingMetric
+from repro.fastpath.dtypes import label_dtype, narrow_indptr, narrow_labels
 from repro.overlay.policy import GreedyPolicy, MetricGreedyPolicy
 from repro.telemetry.core import spanned as telemetry_spanned
 
@@ -54,11 +55,15 @@ class FastpathSnapshot:
     space_size:
         Number of grid points of the underlying metric space.
     labels:
-        ``int64[num_nodes]`` sorted vertex labels (ring positions).
+        ``label_dtype(space_size)[num_nodes]`` sorted vertex labels (ring
+        positions) — ``int32`` whenever the space fits
+        (:func:`repro.fastpath.dtypes.label_dtype`), else ``int64``.
     alive:
         ``bool[num_nodes]`` liveness mask aligned with ``labels``.
     neighbor_indptr:
-        ``int64[num_nodes + 1]`` CSR row pointers into ``neighbor_indices``.
+        ``indptr_dtype(total_degree)[num_nodes + 1]`` CSR row pointers into
+        ``neighbor_indices`` — ``int32`` whenever the entry count fits
+        (:func:`repro.fastpath.dtypes.indptr_dtype`), else ``int64``.
     neighbor_indices:
         ``int32[total_degree]`` neighbour *indices* (positions in ``labels``),
         in the scalar router's neighbour order per vertex.
@@ -113,7 +118,7 @@ class FastpathSnapshot:
         """Out-degree (including folded incoming links) of every vertex."""
         return np.diff(self.neighbor_indptr)
 
-    def indices_of(self, labels) -> np.ndarray:
+    def indices_of(self, labels: np.ndarray) -> np.ndarray:
         """Map an array of vertex labels to their indices in ``labels``.
 
         Raises
@@ -190,10 +195,10 @@ class FastpathSnapshot:
         max_degree = max(max_degree, 1)
         dense = np.full((self.num_nodes, max_degree), -1, dtype=np.int32)
         # Scatter each CSR entry to (row, position-within-row).
-        rows = np.repeat(np.arange(self.num_nodes), degrees)
-        offsets = np.arange(self.neighbor_indices.shape[0]) - np.repeat(
-            self.neighbor_indptr[:-1], degrees
-        )
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), degrees)
+        offsets = np.arange(
+            self.neighbor_indices.shape[0], dtype=np.int64
+        ) - np.repeat(self.neighbor_indptr[:-1], degrees)
         dense[rows, offsets] = self.neighbor_indices
         valid = dense >= 0
         neighbor_labels = self.labels_compact()[np.where(valid, dense, 0)]
@@ -230,10 +235,10 @@ class FastpathSnapshot:
             degrees = self.degrees()
             max_degree = max(int(degrees.max()) if degrees.size else 0, 1)
             cached = np.zeros((self.num_nodes, max_degree), dtype=np.int8)
-            rows = np.repeat(np.arange(self.num_nodes), degrees)
-            offsets = np.arange(self.neighbor_indices.shape[0]) - np.repeat(
-                self.neighbor_indptr[:-1], degrees
-            )
+            rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), degrees)
+            offsets = np.arange(
+                self.neighbor_indices.shape[0], dtype=np.int64
+            ) - np.repeat(self.neighbor_indptr[:-1], degrees)
             cached[rows, offsets] = self.edge_class
             self._dense_cache["class_matrix"] = cached
         return cached
@@ -241,14 +246,18 @@ class FastpathSnapshot:
     def labels_compact(self) -> np.ndarray:
         """The label array in the narrowest integer dtype that fits the space.
 
-        Ring sizes in the experiments fit comfortably in ``int32``; halving
-        the element width roughly halves the memory traffic of the per-hop
-        distance arithmetic, which is where the batch router spends its time.
+        Since the dtype contracts landed (:mod:`repro.fastpath.dtypes`),
+        freshly built snapshots already store ``labels`` at
+        :func:`~repro.fastpath.dtypes.label_dtype` and this returns them
+        as-is; the cast-and-cache path remains for hand-constructed wide
+        snapshots, keeping the halved per-hop memory traffic either way.
         """
+        target = label_dtype(self.space_size)
+        if self.labels.dtype == target:
+            return self.labels
         cached = self._dense_cache.get("labels_compact")
         if cached is None:
-            dtype = np.int32 if self.space_size <= (1 << 30) else np.int64
-            cached = self.labels.astype(dtype)
+            cached = self.labels.astype(target)
             self._dense_cache["labels_compact"] = cached
         return cached
 
@@ -428,12 +437,14 @@ def compile_snapshot(
             "the overlay is corrupt"
         )
 
+    # Label translation above runs in int64 (searchsorted intermediates);
+    # storage narrows to the contract dtypes only at the snapshot boundary.
     return FastpathSnapshot(
         kind=kind,
         space_size=space.size(),
-        labels=labels,
+        labels=narrow_labels(labels, space.size()),
         alive=np.array(alive_flags, dtype=bool),
-        neighbor_indptr=indptr,
+        neighbor_indptr=narrow_indptr(indptr),
         neighbor_indices=indices.astype(np.int32),
         symmetric_neighbors=symmetric_neighbors,
     )

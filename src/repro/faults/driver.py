@@ -21,7 +21,7 @@ scenario measures routing along the timeline without ever recompiling.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -38,6 +38,10 @@ from repro.fastpath.delta import (
     SnapshotDelta,
 )
 from repro.telemetry.core import current as telemetry_current
+
+if TYPE_CHECKING:
+    from repro.overlay.protocol import Overlay
+    from repro.telemetry.core import Telemetry
 
 __all__ = ["FaultDriver"]
 
@@ -66,7 +70,7 @@ class FaultDriver:
 
     def __init__(
         self,
-        overlay,
+        overlay: Any,
         schedule: FaultSchedule,
         mirror: DeltaSnapshot | None = None,
         on_event: Callable[[int, FaultEvent, dict], None] | None = None,
@@ -96,7 +100,7 @@ class FaultDriver:
             return self._run_graph(tel)
         return self._run_table(tel)
 
-    def _run_graph(self, tel) -> dict:
+    def _run_graph(self, tel: "Telemetry | None") -> dict:
         graph = self.graph
         recorder = None
         attached_here = False
@@ -129,7 +133,7 @@ class FaultDriver:
                 recorder.detach()
         return {"events": entries, "ops": op_totals}
 
-    def _run_table(self, tel) -> dict:
+    def _run_table(self, tel: "Telemetry | None") -> dict:
         overlay = self.overlay
         entries: list[dict] = []
         op_totals: dict[str, int] = {}
@@ -154,7 +158,9 @@ class FaultDriver:
     # Graph-backed events
     # ------------------------------------------------------------------ #
 
-    def _apply_graph_event(self, graph: OverlayGraph, event: FaultEvent, rng) -> dict:
+    def _apply_graph_event(
+        self, graph: OverlayGraph, event: FaultEvent, rng: np.random.Generator
+    ) -> dict:
         kind = event.kind
         entry: dict = {"kind": kind}
         if kind == "crash":
@@ -231,7 +237,13 @@ class FaultDriver:
     # Table-backed events
     # ------------------------------------------------------------------ #
 
-    def _apply_table_event(self, overlay, event: FaultEvent, rng, ops: list) -> dict:
+    def _apply_table_event(
+        self,
+        overlay: "Overlay",
+        event: FaultEvent,
+        rng: np.random.Generator,
+        ops: list,
+    ) -> dict:
         kind = event.kind
         entry: dict = {"kind": kind}
         if kind == "crash":

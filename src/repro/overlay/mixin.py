@@ -278,6 +278,7 @@ class OverlayMixin:
         """
         # Imported here: repro.fastpath depends on repro.overlay.policy, so a
         # module-level import would create a cycle through the packages.
+        from repro.fastpath.dtypes import label_dtype, narrow_indptr
         from repro.fastpath.snapshot import FastpathSnapshot
 
         member_labels = self._member_labels
@@ -312,12 +313,14 @@ class OverlayMixin:
             edge_alive = np.asarray(flat_alive, dtype=bool)
             if bool(edge_alive.all()):
                 edge_alive = None
+        # astype always copies here, so the frozen snapshot never aliases the
+        # mutable member table; dtypes narrow per the fastpath contracts.
         return FastpathSnapshot(
             kind=self.snapshot_kind,
             space_size=self.space.size(),
-            labels=member_labels.copy(),
+            labels=member_labels.astype(label_dtype(self.space.size())),
             alive=self._alive.copy(),
-            neighbor_indptr=indptr,
+            neighbor_indptr=narrow_indptr(indptr),
             neighbor_indices=indices.astype(np.int32),
             symmetric_neighbors=False,
             policy=self.greedy_policy(),
