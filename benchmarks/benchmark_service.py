@@ -1,0 +1,397 @@
+"""Benchmark: million-node service — shared-memory snapshot + sustained traffic.
+
+Every other BENCH artifact tops out at 2^14–2^17 nodes; this one pins the
+ROADMAP's "millions of users" trajectory at **n = 10^6**:
+
+* **compile** — :func:`repro.fastpath.build_snapshot` assembles the
+  million-node CSR snapshot directly (no object graph exists at this scale);
+* **share** — the arrays are packed into one
+  :class:`~repro.fastpath.shm.SnapshotArena` segment, and an attached
+  mapping is asserted field-identical to the heap build before anything is
+  timed against it;
+* **sustain** — a mixed-traffic loop interleaves liveness churn deltas
+  (crash bursts via :class:`~repro.fastpath.delta.DeltaSnapshot.from_snapshot`,
+  periodic revive acting as batched repair) with large lookup batches,
+  reporting steady-state QPS, per-batch p50/p99 milliseconds, and
+  delta-refresh cost;
+* **fan out** — a :class:`~concurrent.futures.ProcessPoolExecutor` maps the
+  same segment from worker processes (attach-by-spec, per-worker
+  :func:`~repro.fastpath.snapcache.cached_attach` reuse) and routes shards
+  against it, so the million-node arrays exist **once** in physical memory
+  however many workers route.
+
+The snapshot is built one-sided (``symmetric_neighbors=False``): folding
+incoming power-law links at n = 10^6 would give hub vertices thousand-wide
+dense rows, and the dense routing matrices scale with ``n x max_degree``.
+One-sided keeps ``max_degree ~ links_per_node + 2`` — the memory envelope
+the README's operating-at-scale section documents.
+
+Run with ``pytest benchmarks/benchmark_service.py --benchmark-only -s`` or
+directly with ``python benchmarks/benchmark_service.py [--nodes N]
+[--rounds R] [--workers W]``.  Results are written to ``BENCH_service.json``
+at the repository root, extending the cross-PR performance trajectory; the
+weekly CI job re-runs it at full scale with a longer sustain phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+if __name__ in ("__main__", "__mp_main__"):  # direct execution / spawned worker
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.fastpath import (
+    ArenaSpec,
+    BatchGreedyRouter,
+    DeltaSnapshot,
+    SnapshotArena,
+    SnapshotDelta,
+    build_snapshot,
+    cached_attach,
+    snapshot_cache_stats,
+    snapshot_nbytes,
+)
+from repro.fastpath.delta import OP_FAIL, OP_REVIVE, assert_snapshots_identical
+from repro.telemetry import (
+    MS_BUCKETS,
+    Histogram,
+    current as telemetry_current,
+    session as telemetry_session,
+    write_bench_result,
+)
+from repro.util.rng import spawn_rng
+
+NODES = 1_000_000
+SEED = 7
+ROUNDS = 12
+BATCH = 20_000
+CHURN_PER_ROUND = 1_000
+REPAIR_EVERY = 3
+WORKERS = 2
+WORKER_TASKS = 4
+WORKER_BATCH = 10_000
+
+
+def _draw_pairs(rng: np.random.Generator, alive_labels: np.ndarray, count: int) -> np.ndarray:
+    """``count`` (source, target) pairs of distinct live labels."""
+    sources = alive_labels[rng.integers(0, alive_labels.size, size=count)]
+    targets = alive_labels[rng.integers(0, alive_labels.size, size=count)]
+    clash = sources == targets
+    while np.any(clash):
+        targets[clash] = alive_labels[rng.integers(0, alive_labels.size, size=int(clash.sum()))]
+        clash = sources == targets
+    return np.stack([sources, targets], axis=1).astype(np.int64)
+
+
+def _worker_route(payload: tuple[ArenaSpec, int, int]) -> dict:
+    """Pool worker: map the arena (cached per process) and route one shard."""
+    spec, task_seed, batch = payload
+    arena = cached_attach(spec)
+    snapshot = arena.snapshot()
+    rng = spawn_rng(task_seed, "service-worker-pairs")
+    alive_labels = snapshot.labels  # fully populated build: everyone is alive
+    pairs = _draw_pairs(rng, np.asarray(alive_labels), batch)
+    router = BatchGreedyRouter(snapshot, seed=task_seed)
+    started = time.perf_counter()
+    result = router.route_batch(pairs[:, 0], pairs[:, 1])
+    elapsed = time.perf_counter() - started
+    return {
+        "pid": os.getpid(),
+        "queries": int(pairs.shape[0]),
+        "successes": int(result.success.sum()),
+        "route_seconds": elapsed,
+        "cache": snapshot_cache_stats(),
+    }
+
+
+def run_service_benchmark(
+    nodes: int = NODES,
+    rounds: int = ROUNDS,
+    batch: int = BATCH,
+    churn_per_round: int = CHURN_PER_ROUND,
+    repair_every: int = REPAIR_EVERY,
+    workers: int = WORKERS,
+    worker_tasks: int = WORKER_TASKS,
+    worker_batch: int = WORKER_BATCH,
+    seed: int = SEED,
+) -> dict:
+    """Compile, share, sustain, and fan out; return the stats dict."""
+    tel = telemetry_current()
+
+    # -- compile ---------------------------------------------------------- #
+    started = time.perf_counter()
+    heap_snapshot = build_snapshot(nodes, seed=seed, symmetric_neighbors=False)
+    build_seconds = time.perf_counter() - started
+    nbytes = snapshot_nbytes(heap_snapshot)
+
+    # -- share + field identity ------------------------------------------- #
+    started = time.perf_counter()
+    arena = SnapshotArena.create(heap_snapshot)
+    arena_create_seconds = time.perf_counter() - started
+    stats: dict = {}
+    try:
+        started = time.perf_counter()
+        mapper = SnapshotArena.attach(arena.spec)
+        arena_attach_seconds = time.perf_counter() - started
+        assert_snapshots_identical(mapper.snapshot(), heap_snapshot, "arena vs heap")
+        mapper.close()
+
+        shared = arena.snapshot()
+
+        # -- sustain: mixed traffic over the shared snapshot --------------- #
+        mirror = DeltaSnapshot.from_snapshot(shared)
+        router = BatchGreedyRouter(mirror.snapshot(), seed=seed)
+        rng = spawn_rng(seed, "service-bench")
+        batch_hist = Histogram("bench.route_batch_ms", MS_BUCKETS)
+        refresh_seconds = 0.0
+        route_seconds = 0.0
+        queries = 0
+        successes = 0
+        failed: list[int] = []
+        for round_index in range(rounds):
+            ops: list[tuple] = []
+            if (round_index + 1) % repair_every == 0 and failed:
+                ops = [(OP_REVIVE, label) for label in failed]
+                failed = []
+            else:
+                victims = rng.choice(nodes, size=churn_per_round, replace=False)
+                current_failed = set(failed)
+                fresh = [int(v) for v in victims if int(v) not in current_failed]
+                ops = [(OP_FAIL, label) for label in fresh]
+                failed.extend(fresh)
+            started = time.perf_counter()
+            mirror.apply(SnapshotDelta(ops=ops))
+            snapshot = mirror.snapshot()
+            refresh_elapsed = time.perf_counter() - started
+            refresh_seconds += refresh_elapsed
+            router.rebase(snapshot)
+
+            alive_labels = np.asarray(snapshot.labels)[np.asarray(snapshot.alive)]
+            pairs = _draw_pairs(rng, alive_labels, batch)
+            started = time.perf_counter()
+            result = router.route_batch(pairs[:, 0], pairs[:, 1])
+            elapsed = time.perf_counter() - started
+            route_seconds += elapsed
+            queries += batch
+            successes += int(result.success.sum())
+            batch_hist.record(elapsed * 1e3)
+            if tel is not None:
+                tel.observe("bench.route_batch_ms", elapsed * 1e3, buckets=MS_BUCKETS)
+                tel.observe("bench.refresh_ms", refresh_elapsed * 1e3, buckets=MS_BUCKETS)
+
+        # -- fan out: worker processes map the same segment ----------------- #
+        payloads = [
+            (arena.spec, seed + 1000 + task, worker_batch) for task in range(worker_tasks)
+        ]
+        started = time.perf_counter()
+        # Spawned (not forked) workers get their own resource tracker and an
+        # empty per-process cache, so attach/unregister bookkeeping and the
+        # hit/miss counters are exactly the cold-worker story.
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            shard_results = list(pool.map(_worker_route, payloads))
+        parallel_wall_seconds = time.perf_counter() - started
+        worker_queries = sum(shard["queries"] for shard in shard_results)
+        worker_successes = sum(shard["successes"] for shard in shard_results)
+        worker_route_seconds = sum(shard["route_seconds"] for shard in shard_results)
+        # Cache counters are cumulative per process; keep each pid's last word.
+        per_pid: dict[int, dict] = {}
+        for shard in shard_results:
+            best = per_pid.get(shard["pid"])
+            if best is None or sum(shard["cache"].values()) > sum(best.values()):
+                per_pid[shard["pid"]] = shard["cache"]
+        cache_hits = sum(stats["hits"] for stats in per_pid.values())
+        cache_misses = sum(stats["misses"] for stats in per_pid.values())
+
+        stats = {
+            "nodes": nodes,
+            "links_per_node": int(np.ceil(np.log2(nodes))),
+            "symmetric_neighbors": False,
+            "rounds": rounds,
+            "batch": batch,
+            "churn_per_round": churn_per_round,
+            "repair_every": repair_every,
+            "build_seconds": build_seconds,
+            "snapshot_nbytes": nbytes,
+            "arena_nbytes": arena.nbytes,
+            "arena_create_seconds": arena_create_seconds,
+            "arena_attach_seconds": arena_attach_seconds,
+            "identity_checked": True,
+            "queries": queries,
+            "success_rate": successes / queries if queries else 0.0,
+            "route_seconds": route_seconds,
+            "qps": queries / route_seconds if route_seconds else 0.0,
+            "batch_ms_p50": batch_hist.quantile(0.5),
+            "batch_ms_p99": batch_hist.quantile(0.99),
+            "refresh_ms_mean": 1000.0 * refresh_seconds / rounds,
+            "workers": workers,
+            "worker_tasks": worker_tasks,
+            "worker_queries": worker_queries,
+            "worker_success_rate": (
+                worker_successes / worker_queries if worker_queries else 0.0
+            ),
+            "worker_qps": (
+                worker_queries / worker_route_seconds if worker_route_seconds else 0.0
+            ),
+            "parallel_wall_seconds": parallel_wall_seconds,
+            "arena_cache_hits": cache_hits,
+            "arena_cache_misses": cache_misses,
+        }
+    finally:
+        arena.close()
+        arena.unlink()
+    return stats
+
+
+def check_service_benchmark(stats: dict) -> None:
+    """Acceptance asserts: identity, service quality, and real sharing."""
+    assert stats["identity_checked"]
+    # The segment ships exactly the snapshot's array footprint.
+    assert stats["arena_nbytes"] >= stats["snapshot_nbytes"]
+    assert stats["arena_nbytes"] <= stats["snapshot_nbytes"] * 1.01 + 1024
+    # Sustained traffic stays serviceable through the churn bursts.
+    assert stats["success_rate"] >= 0.95, stats["success_rate"]
+    assert stats["worker_success_rate"] >= 0.95, stats["worker_success_rate"]
+    assert stats["qps"] > 0 and stats["worker_qps"] > 0
+    # Liveness-tier refreshes must stay far below a batch's routing cost.
+    assert stats["refresh_ms_mean"] < 1000.0, stats["refresh_ms_mean"]
+    # With more tasks than workers, the per-worker attach cache must hit.
+    assert stats["arena_cache_hits"] >= 1, stats
+    assert stats["arena_cache_misses"] <= stats["workers"], stats
+
+
+def stats_to_run_result(stats: dict):
+    """Wrap the stats in a structured RunResult stamped with the service spec."""
+    from repro.experiments.runner import ExperimentTable
+    from repro.scenarios import RunResult
+    from repro.scenarios.service import service_spec
+
+    spec = service_spec(
+        nodes=stats["nodes"],
+        occupancy=1.0,
+        links_per_node=stats["links_per_node"],
+        rounds=stats["rounds"],
+        churn_rate=stats["churn_per_round"] / stats["nodes"],
+        searches=stats["batch"],
+        seed=SEED,
+        engine="fastpath",
+    )
+    table = ExperimentTable(
+        title=(
+            f"million-node service @ {stats['nodes']} nodes: shared-memory "
+            f"snapshot + sustained mixed traffic ({stats['rounds']} rounds, "
+            f"{stats['batch']} lookups/round, {stats['workers']} workers)"
+        ),
+        columns=["metric", "value"],
+        notes="compile is the direct-to-CSR build (no object graph exists at "
+        "this scale); the arena is one shared-memory segment all workers "
+        "map; churn is liveness-tier deltas (crash bursts + periodic "
+        "revive); field identity arena vs heap is asserted before timing.",
+    )
+    for key in sorted(stats):
+        table.add_row(key, stats[key])
+    return RunResult(
+        scenario="bench-service",
+        spec=spec,
+        engine_requested="fastpath",
+        engine_used="fastpath",
+        tables=[table],
+        seconds=stats["build_seconds"]
+        + stats["arena_create_seconds"]
+        + stats["route_seconds"]
+        + stats["parallel_wall_seconds"],
+    )
+
+
+def measure_service_benchmark(**kwargs) -> tuple[dict, dict]:
+    """Run the benchmark inside a telemetry session; return (stats, dump)."""
+    with telemetry_session() as tel:
+        stats = run_service_benchmark(**kwargs)
+    return stats, tel.to_dict()
+
+
+def write_bench_artifact(
+    stats: dict, path: Path | None = None, telemetry: dict | None = None
+) -> Path:
+    """Write the RunResult JSON artifact (default: BENCH_service.json at repo root)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    return write_bench_result(stats_to_run_result(stats), path, telemetry=telemetry)
+
+
+def _report(stats: dict) -> str:
+    return (
+        f"\nmillion-node service @ {stats['nodes']} nodes "
+        f"({stats['links_per_node']} links/node, one-sided)\n"
+        f"  compile {stats['build_seconds']:.1f}s, snapshot "
+        f"{stats['snapshot_nbytes'] / 1e6:.1f} MB -> arena "
+        f"{stats['arena_nbytes'] / 1e6:.1f} MB "
+        f"(create {stats['arena_create_seconds'] * 1e3:.0f} ms, attach "
+        f"{stats['arena_attach_seconds'] * 1e3:.1f} ms, field-identical)\n"
+        f"  sustained: {stats['queries']} lookups over {stats['rounds']} rounds, "
+        f"success {stats['success_rate']:.4f}, "
+        f"QPS {stats['qps']:,.0f}, batch p50 {stats['batch_ms_p50']:.0f} ms "
+        f"p99 {stats['batch_ms_p99']:.0f} ms, refresh "
+        f"{stats['refresh_ms_mean']:.1f} ms/round\n"
+        f"  workers: {stats['workers']} procs x {stats['worker_tasks']} tasks, "
+        f"success {stats['worker_success_rate']:.4f}, "
+        f"aggregate QPS {stats['worker_qps']:,.0f} "
+        f"(cache {stats['arena_cache_hits']} hits / "
+        f"{stats['arena_cache_misses']} misses)"
+    )
+
+
+def test_service_scale(benchmark):
+    """Million-node compile + arena share + sustained mixed traffic."""
+    stats, telemetry = benchmark.pedantic(
+        measure_service_benchmark, rounds=1, iterations=1
+    )
+    print(_report(stats))
+    for key in (
+        "build_seconds", "snapshot_nbytes", "qps", "worker_qps",
+        "batch_ms_p50", "batch_ms_p99", "refresh_ms_mean",
+    ):
+        benchmark.extra_info[key] = stats[key]
+    artifact = write_bench_artifact(stats, telemetry=telemetry)
+    print(f"  artifact: {artifact}")
+    check_service_benchmark(stats)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=NODES)
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--batch", type=int, default=BATCH)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--worker-tasks", type=int, default=WORKER_TASKS)
+    options = parser.parse_args(argv)
+    stats, telemetry = measure_service_benchmark(
+        nodes=options.nodes,
+        rounds=options.rounds,
+        batch=options.batch,
+        workers=options.workers,
+        worker_tasks=options.worker_tasks,
+    )
+    print(_report(stats))
+    artifact = write_bench_artifact(stats, telemetry=telemetry)
+    print(f"  artifact: {artifact}")
+    check_service_benchmark(stats)
+    print(
+        "\nall assertions passed (field-identical arena, >= 95% success, "
+        "shared-segment fan-out)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ from repro.core.builder import build_ideal_network
 from repro.core.failures import NodeFailureModel, failure_sweep_levels
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
-from repro.fastpath import build_snapshot, sample_node_failures
+from repro.fastpath import cached_build_snapshot, sample_node_failures
 from repro.simulation.workload import LookupWorkload
 from repro.util.rng import derive_seed
 
@@ -176,7 +176,9 @@ def _run_figure6_impl(
             # at this failure level, and failures are a derived alive mask.
             # Both draws match the object path exactly (same streams, same
             # candidate order), so the two engines stay paired.
-            base = build_snapshot(nodes, links_per_node=links_per_node, seed=build_seed)
+            base = cached_build_snapshot(
+                nodes, links_per_node=links_per_node, seed=build_seed
+            )
             failed = sample_node_failures(base, level, seed=failure_seed)
             snapshot = base.with_alive(base.alive & ~failed)
             live = snapshot.labels[snapshot.alive].tolist()

@@ -22,7 +22,7 @@ from repro.core.construction import build_heuristic_network
 from repro.core.failures import NodeFailureModel, failure_sweep_levels
 from repro.core.routing import RecoveryStrategy
 from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
-from repro.fastpath import build_snapshot
+from repro.fastpath import cached_build_snapshot
 from repro.simulation.workload import LookupWorkload
 from repro.util.rng import derive_seed
 
@@ -154,7 +154,12 @@ def _run_figure7_impl(
         constructed_seed = derive_seed(seed, "figure7", "constructed", iteration)
         if fastpath:
             ideal_networks.append(
-                (None, build_snapshot(nodes, links_per_node=links_per_node, seed=ideal_seed))
+                (
+                    None,
+                    cached_build_snapshot(
+                        nodes, links_per_node=links_per_node, seed=ideal_seed
+                    ),
+                )
             )
         else:
             ideal_networks.append(

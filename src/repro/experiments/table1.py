@@ -34,7 +34,7 @@ from repro.experiments.runner import ExperimentTable, route_pairs_with_engine
 from repro.fastpath import (
     DeltaRecorder,
     DeltaSnapshot,
-    build_snapshot,
+    cached_build_snapshot,
     sample_node_failures,
     select_engine,
 )
@@ -80,7 +80,7 @@ def _ideal_topology(n: int, links: int, seed: int, engine: str):
     overlay graph.  Both realise the identical network at the same seed.
     """
     if engine == "fastpath":
-        return None, build_snapshot(n, links_per_node=links, seed=seed)
+        return None, cached_build_snapshot(n, links_per_node=links, seed=seed)
     return build_ideal_network(n, links_per_node=links, seed=seed).graph, None
 
 

@@ -66,12 +66,25 @@ from repro.fastpath.dtypes import (
     snapshot_nbytes,
 )
 from repro.fastpath.failures import apply_node_failures, sample_node_failures
+from repro.fastpath.shm import ArenaSpec, SnapshotArena
+from repro.fastpath.snapcache import (
+    cached_attach,
+    cached_build_snapshot,
+    snapshot_cache_clear,
+    snapshot_cache_stats,
+)
 from repro.fastpath.snapshot import FastpathSnapshot, compile_snapshot
 
 __all__ = [
     "FastpathSnapshot",
     "compile_snapshot",
     "build_snapshot",
+    "ArenaSpec",
+    "SnapshotArena",
+    "cached_attach",
+    "cached_build_snapshot",
+    "snapshot_cache_clear",
+    "snapshot_cache_stats",
     "SNAPSHOT_CONTRACT",
     "label_dtype",
     "indptr_dtype",

@@ -80,6 +80,7 @@ def _ensure_builtin_scenarios() -> None:
         import repro.scenarios.churn  # noqa: F401  (registers on import)
         import repro.scenarios.degradation  # noqa: F401  (registers on import)
         import repro.scenarios.library  # noqa: F401  (registers on import)
+        import repro.scenarios.service  # noqa: F401  (registers on import)
 
 
 def register_scenario(

@@ -106,6 +106,28 @@ METRIC_NAMES: tuple[MetricName, ...] = (
                "fault schedules replayed end to end"),
     MetricName("faults.events.<kind>", "counter", "FaultDriver",
                "fault events applied, per event kind"),
+    # -- service.* : the sustained mixed-traffic service scenario -----------
+    MetricName("service.rounds", "counter", "scenarios.service",
+               "service rounds completed"),
+    MetricName("service.lookups", "counter", "scenarios.service",
+               "lookup queries routed across all batches"),
+    MetricName("service.refresh_ops", "counter", "scenarios.service",
+               "recorded delta ops applied at snapshot refresh points (fastpath)"),
+    MetricName("service.lookup_ms", "histogram", "scenarios.service",
+               "wall-clock milliseconds per routed lookup batch"),
+    MetricName("service.hops", "histogram", "scenarios.service",
+               "delivered hop counts per successful lookup (per round and steady-state)"),
+    MetricName("service.latency", "histogram", "scenarios.service",
+               "simulated per-lookup latency milliseconds (per round and steady-state)"),
+    MetricName("service.qps", "gauge", "scenarios.service",
+               "steady-state routed lookups per wall-clock second"),
+    # -- arena.* : SnapshotArena --------------------------------------------
+    MetricName("arena.created", "counter", "SnapshotArena",
+               "shared-memory snapshot segments created"),
+    MetricName("arena.attached", "counter", "SnapshotArena",
+               "shared-memory snapshot segments mapped by attachers"),
+    MetricName("arena.snapshot_nbytes", "gauge", "SnapshotArena",
+               "payload bytes of the last created segment (snapshot_nbytes)"),
     # -- sweep.* : Sweep.run ------------------------------------------------
     MetricName("sweep.cells_executed", "counter", "Sweep.run",
                "grid cells actually executed this run"),
@@ -113,6 +135,10 @@ METRIC_NAMES: tuple[MetricName, ...] = (
                "grid cells reused from a --resume file"),
     MetricName("sweep.worker.<pid>.cells", "counter", "Sweep.run",
                "cells completed per worker process"),
+    MetricName("sweep.snapshot_cache.hits", "counter", "fastpath.snapcache",
+               "per-worker snapshot/arena cache lookups served from memory"),
+    MetricName("sweep.snapshot_cache.misses", "counter", "fastpath.snapcache",
+               "per-worker snapshot/arena cache lookups that built or attached"),
     MetricName("sweep.cell_seconds", "histogram", "Sweep.run",
                "wall-clock seconds per executed cell"),
     MetricName("sweep.queue_wait_s", "histogram", "Sweep.run",

@@ -1,0 +1,124 @@
+"""Property-based round-trip tests for shared-memory snapshot arenas.
+
+The arena contract (see :mod:`repro.fastpath.shm`) is *field identity*: a
+snapshot that travels through :meth:`SnapshotArena.create` and a (pickled)
+:class:`ArenaSpec` back out of :meth:`SnapshotArena.attach` is
+indistinguishable from the heap-backed original — same arrays bit for bit,
+same scalar attributes, same policy — for every snapshot shape the fastpath
+can produce.  These tests generate random topologies across all three
+producers (direct ring builds, ring builds with a per-edge liveness mask,
+and Chord compiles with tiered edge classes) and assert exactly that, plus
+the layout invariant that the segment never pads a snapshot by more than the
+per-slab alignment.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chord import ChordNetwork
+from repro.fastpath import SnapshotArena, build_snapshot, snapshot_nbytes
+from repro.fastpath.delta import assert_snapshots_identical
+from repro.fastpath.shm import _ALIGN, _ARRAY_FIELDS
+
+
+def _round_trip(heap, check=None):
+    """Send ``heap`` through an arena + pickled spec and assert field identity.
+
+    The spec is pickled and unpickled to exercise exactly what crosses a
+    process boundary.  All assertions (including the optional ``check``
+    callback, which receives the attached snapshot) run while both mappings
+    are live — the attached snapshot's arrays are views into the segment and
+    must not outlive it.
+    """
+    with SnapshotArena.create(heap) as arena:
+        spec = pickle.loads(pickle.dumps(arena.spec))
+        with SnapshotArena.attach(spec) as mapper:
+            attached = mapper.snapshot()
+            assert_snapshots_identical(attached, heap, "attached vs heap")
+            assert_snapshots_identical(arena.snapshot(), heap, "owner vs heap")
+            # Layout invariant: payload = footprint + at most one alignment
+            # gap per shipped slab.
+            shipped = sum(
+                1 for name in _ARRAY_FIELDS if getattr(heap, name) is not None
+            )
+            assert snapshot_nbytes(heap) <= arena.nbytes
+            assert arena.nbytes <= snapshot_nbytes(heap) + _ALIGN * shipped
+            if check is not None:
+                check(attached)
+
+
+class TestArenaRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        exponent=st.integers(min_value=5, max_value=9),
+        links=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=60),
+        symmetric=st.booleans(),
+    )
+    def test_direct_build(self, exponent, links, seed, symmetric):
+        """Ring snapshots from ``build_snapshot`` survive the arena intact."""
+        heap = build_snapshot(
+            1 << exponent,
+            links_per_node=links,
+            seed=seed,
+            symmetric_neighbors=symmetric,
+        )
+        def check(attached):
+            assert attached.edge_class is None
+            assert attached.edge_alive is None
+
+        _round_trip(heap, check)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        exponent=st.integers(min_value=5, max_value=8),
+        seed=st.integers(min_value=0, max_value=60),
+        dead_fraction=st.sampled_from([0.05, 0.2, 0.5]),
+    )
+    def test_edge_alive_mask_travels(self, exponent, seed, dead_fraction):
+        """A per-edge liveness mask ships as its own slab and round-trips."""
+        base = build_snapshot(1 << exponent, links_per_node=4, seed=seed)
+        rng = np.random.default_rng(seed + 101)
+        mask = rng.random(base.neighbor_indices.shape[0]) >= dead_fraction
+        mask[0] = False  # never all-alive (with_edge_alive folds that to None)
+        heap = base.with_edge_alive(mask)
+        assert heap.edge_alive is not None
+        def check(attached):
+            assert attached.edge_alive is not None
+            assert np.array_equal(attached.edge_alive, heap.edge_alive)
+
+        _round_trip(heap, check)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        bits=st.integers(min_value=4, max_value=7),
+        members=st.integers(min_value=8, max_value=24),
+        seed=st.integers(min_value=0, max_value=40),
+        failed_links=st.integers(min_value=0, max_value=3),
+    )
+    def test_chord_compile_with_edge_classes(
+        self, bits, members, seed, failed_links
+    ):
+        """Tiered snapshots (finger/successor classes) round-trip as well."""
+        rng = np.random.default_rng(seed)
+        size = 1 << bits
+        labels = rng.choice(size, size=min(members, size), replace=False)
+        network = ChordNetwork(bits=bits, members=labels.tolist())
+        for _ in range(failed_links):
+            holder = int(rng.choice(network.members))
+            targets = [n for n in network.neighbors_of(holder) if n != holder]
+            if targets:
+                network.fail_link(holder, int(rng.choice(targets)))
+        heap = network.compile_snapshot()
+        assert heap.edge_class is not None  # successor tier is class 1
+        def check(attached):
+            assert np.array_equal(attached.edge_class, heap.edge_class)
+            assert attached.policy == heap.policy
+            assert attached.kind == "chord"
+
+        _round_trip(heap, check)
